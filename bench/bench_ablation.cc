@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation studies over the design choices DESIGN.md calls out:
+ * scheduling discipline, barrier fences, adder circuit family, cache
+ * fetch policy, and error-correcting code.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cache/cache_sim.hh"
+#include "common/table.hh"
+#include "cqla/hierarchy.hh"
+#include "gen/draper.hh"
+#include "gen/ripple.hh"
+#include "sched/scheduler.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printAblations()
+{
+    benchBanner("Ablations", "design-choice sensitivity studies");
+    const sched::LatencyModel lat;
+
+    // 1. Scheduling discipline: round-synchronous vs overlapped list
+    // scheduling, with and without barrier fences.
+    {
+        AsciiTable t;
+        t.setCaption("A1. 256-bit adder makespan [gate-steps] by "
+                     "scheduling discipline (B = 36)");
+        t.setHeader({"Variant", "Round-sync", "Greedy list"});
+        t.setAlign(0, Align::Left);
+        for (const bool barriers : {true, false}) {
+            const auto prog = gen::draperAdder(
+                256, true, nullptr,
+                gen::UncomputeMode::CarriesLeftDirty, barriers);
+            const auto rs = sched::roundSchedule(prog, lat, 36);
+            const auto ls = sched::listSchedule(prog, lat, 36);
+            t.addRow({barriers ? "with barriers" : "no barriers",
+                      std::to_string(rs.makespan),
+                      std::to_string(ls.makespan)});
+        }
+        t.print(std::cout);
+    }
+
+    // 2. Adder family: logarithmic-depth CLA vs linear ripple.
+    {
+        AsciiTable t;
+        t.setCaption("A2. carry-lookahead vs ripple-carry "
+                     "(unlimited blocks, full uncompute)");
+        t.setHeader({"n", "CLA steps", "Ripple steps", "CLA/Ripple"});
+        for (const int n : {16, 64, 256}) {
+            const auto cla = sched::listSchedule(
+                gen::draperAdder(n, true, nullptr,
+                                 gen::UncomputeMode::Full, false),
+                lat, sched::unlimited_blocks);
+            const auto rip = sched::listSchedule(
+                gen::rippleAdder(n), lat, sched::unlimited_blocks);
+            t.addRow({std::to_string(n), std::to_string(cla.makespan),
+                      std::to_string(rip.makespan),
+                      AsciiTable::num(static_cast<double>(cla.makespan) /
+                                          static_cast<double>(
+                                              rip.makespan),
+                                      2)});
+        }
+        t.print(std::cout);
+    }
+
+    // 3. Transfer-channel sensitivity of the hierarchy speedup.
+    {
+        const auto params = iontrap::Params::future();
+        cqla::HierarchyModel hier(params);
+        AsciiTable t;
+        t.setCaption("A3. adder speedup vs transfer channels "
+                     "(Bacon-Shor, 1024-bit, 100 blocks)");
+        t.setHeader({"Channels", "L1 speedup", "Adder speedup"});
+        for (const unsigned ch : {1u, 2u, 5u, 10u, 20u, 40u}) {
+            const auto row =
+                hier.row(ecc::Code::baconShor(), 1024, ch, 100);
+            t.addRow({std::to_string(ch),
+                      AsciiTable::num(row.level1_speedup, 2),
+                      AsciiTable::num(row.adder_speedup, 2)});
+        }
+        t.print(std::cout);
+    }
+
+    // 4. Cache capacity sweep under both fetch policies.
+    {
+        gen::AdderLayout layout;
+        const auto prog = gen::draperAdder(
+            256, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+        std::vector<bool> mask(
+            static_cast<std::size_t>(layout.total_qubits), false);
+        for (int i = 0; i < 512; ++i)
+            mask[static_cast<std::size_t>(i)] = true;
+        AsciiTable t;
+        t.setCaption("A4. 256-bit adder hit rate vs cache capacity");
+        t.setHeader({"Capacity", "In-order", "Optimized"});
+        for (const std::size_t cap : {64u, 128u, 256u, 384u, 512u}) {
+            const auto io = cache::simulateCache(
+                prog, cap, cache::FetchPolicy::InOrder, true, mask);
+            const auto opt = cache::simulateCache(
+                prog, cap, cache::FetchPolicy::OptimizedLookahead, true,
+                mask);
+            t.addRow({std::to_string(cap),
+                      AsciiTable::num(100.0 * io.hitRate(), 1) + "%",
+                      AsciiTable::num(100.0 * opt.hitRate(), 1) + "%"});
+        }
+        t.print(std::cout);
+    }
+    std::printf("\n");
+}
+
+void
+BM_GreedyVsRound(benchmark::State &state)
+{
+    const auto prog = gen::draperAdder(
+        512, true, nullptr, gen::UncomputeMode::CarriesLeftDirty);
+    const sched::LatencyModel lat;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::listSchedule(prog, lat, 64).makespan);
+}
+BENCHMARK(BM_GreedyVsRound);
+
+} // namespace
+
+QMH_BENCH_MAIN(printAblations)

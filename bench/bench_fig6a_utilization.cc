@@ -1,0 +1,54 @@
+/** @file Reproduces paper Fig. 6(a): utilization vs compute blocks. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cqla/perf_model.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printFig6a()
+{
+    benchBanner("Figure 6(a)",
+                "overall utilization vs number of compute blocks");
+    const auto params = iontrap::Params::future();
+    cqla::PerformanceModel perf(params);
+
+    const int sizes[] = {32, 64, 128, 256, 512, 1024};
+    const unsigned blocks[] = {4, 16, 36, 64, 100, 144, 196};
+
+    AsciiTable t;
+    std::vector<std::string> header = {"Blocks"};
+    for (const int n : sizes)
+        header.push_back(std::to_string(n) + "-qubit");
+    t.setHeader(header);
+    for (const auto b : blocks) {
+        std::vector<std::string> row = {std::to_string(b)};
+        for (const int n : sizes)
+            row.push_back(
+                AsciiTable::num(perf.scheduledUtilization(n, b), 2));
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::printf("Larger adders keep more blocks busy; utilization "
+                "falls as blocks grow (the performance/utilization "
+                "balance of Section 5.1).\n\n");
+}
+
+void
+BM_Utilization(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    cqla::PerformanceModel perf(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(perf.utilization(256, 49));
+}
+BENCHMARK(BM_Utilization);
+
+} // namespace
+
+QMH_BENCH_MAIN(printFig6a)

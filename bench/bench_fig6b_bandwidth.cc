@@ -1,0 +1,52 @@
+/** @file Reproduces paper Fig. 6(b): superblock bandwidth crossover. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "net/bandwidth.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printFig6b()
+{
+    benchBanner("Figure 6(b)",
+                "bandwidth required vs available per compute "
+                "superblock");
+    const auto params = iontrap::Params::future();
+    const net::BandwidthModel model(ecc::Code::steane(), 2, params);
+
+    AsciiTable t;
+    t.setHeader({"Blocks", "Required worst [q/s]",
+                 "Required Draper [q/s]", "Available [q/s]"});
+    for (unsigned b = 10; b <= 80; b += 10) {
+        t.addRow({std::to_string(b),
+                  AsciiTable::num(model.requiredWorstCase(b), 2),
+                  AsciiTable::num(model.requiredDraper(b), 2),
+                  AsciiTable::num(model.availablePerSuperblock(b), 2)});
+    }
+    t.print(std::cout);
+
+    const net::BandwidthModel bs(ecc::Code::baconShor(), 2, params);
+    std::printf("Draper/available crossover: Steane %u blocks, "
+                "Bacon-Shor %u blocks (paper: 36, immaterial of "
+                "code)\n\n",
+                model.crossoverBlocks(), bs.crossoverBlocks());
+}
+
+void
+BM_Crossover(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    const net::BandwidthModel model(ecc::Code::steane(), 2, params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.crossoverBlocks());
+}
+BENCHMARK(BM_Crossover);
+
+} // namespace
+
+QMH_BENCH_MAIN(printFig6b)

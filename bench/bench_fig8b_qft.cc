@@ -1,0 +1,72 @@
+/** @file Reproduces paper Fig. 8(b): QFT comm vs computation. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cqla/apps.hh"
+#include "gen/qft.hh"
+#include "net/mesh.hh"
+#include "net/teleport.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printFig8b()
+{
+    benchBanner("Figure 8(b)",
+                "QFT: computation vs communication [s], Bacon-Shor "
+                "code");
+    const auto params = iontrap::Params::future();
+    cqla::QftModel model(ecc::Code::baconShor(), params);
+
+    AsciiTable t;
+    t.setHeader({"Problem size", "Computation [s]",
+                 "Communication [s]", "Comm/Comp"});
+    for (int n = 100; n <= 1000; n += 100) {
+        const auto times = model.totalTimes(n);
+        t.addRow({std::to_string(n),
+                  AsciiTable::num(times.computation_s, 0),
+                  AsciiTable::num(times.communication_s, 0),
+                  AsciiTable::num(times.communication_s /
+                                      times.computation_s,
+                                  2)});
+    }
+    t.print(std::cout);
+
+    // Mesh all-to-all sanity: the personalized exchange fits inside
+    // the serialized execution window.
+    const net::TeleportModel teleport(ecc::Code::baconShor(), 2,
+                                      params);
+    const net::Mesh mesh(6);  // 36-block superblock
+    std::printf("Mesh check (n=1000, 6x6 superblock): all-to-all "
+                "exchange %.0f s vs %.0f s serialized computation\n",
+                mesh.allToAllTime(1000, teleport.channelRate()),
+                model.totalTimes(1000).computation_s);
+    std::printf("Communication closely tracks computation at every "
+                "size (paper Fig. 8b).\n\n");
+}
+
+void
+BM_QftGeneration(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen::qft(128).size());
+}
+BENCHMARK(BM_QftGeneration);
+
+void
+BM_QftTimes(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    cqla::QftModel model(ecc::Code::baconShor(), params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.totalTimes(1000));
+}
+BENCHMARK(BM_QftTimes);
+
+} // namespace
+
+QMH_BENCH_MAIN(printFig8b)

@@ -1,0 +1,63 @@
+/** @file Reproduces paper Table 1: physical operation parameters. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "iontrap/geometry.hh"
+#include "iontrap/params.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printTable1()
+{
+    benchBanner("Table 1", "ion-trap physical operation parameters");
+    const auto now = iontrap::Params::now();
+    const auto future = iontrap::Params::future();
+
+    AsciiTable t;
+    t.setCaption("Operation time [us] and failure rate, now (future)");
+    t.setHeader({"Operation", "Time now", "Time future", "Fail now",
+                 "Fail future"});
+    t.setAlign(0, Align::Left);
+    using iontrap::PhysOp;
+    for (const auto op :
+         {PhysOp::SingleGate, PhysOp::DoubleGate, PhysOp::Measure,
+          PhysOp::Move, PhysOp::Split, PhysOp::Cooling}) {
+        t.addRow({iontrap::physOpName(op),
+                  AsciiTable::num(now.opTimeUs(op), 1),
+                  AsciiTable::num(future.opTimeUs(op), 1),
+                  AsciiTable::sci(now.opFailure(op)),
+                  AsciiTable::sci(future.opFailure(op))});
+    }
+    t.addRow({"memory time [s]", AsciiTable::num(now.memory_time_s, 0),
+              AsciiTable::num(future.memory_time_s, 0), "-", "-"});
+    t.addRow({"trap size [um]", AsciiTable::num(now.trap_size_um, 0),
+              AsciiTable::num(future.trap_size_um, 0), "-", "-"});
+    t.print(std::cout);
+    std::printf("Fundamental cycle: %.0f us; trapping region: %.0f um; "
+                "p0 (Eq.1 average): %.2e\n\n",
+                future.cycle_us, future.regionDimUm(),
+                future.averageFailure());
+}
+
+void
+BM_MoveLatency(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    const iontrap::TrapGrid grid(256, 256, params);
+    int x = 0;
+    for (auto _ : state) {
+        x = (x + 37) % 256;
+        benchmark::DoNotOptimize(
+            grid.moveLatencyCycles({0, 0}, {x, 255 - x}));
+    }
+}
+BENCHMARK(BM_MoveLatency);
+
+} // namespace
+
+QMH_BENCH_MAIN(printTable1)

@@ -1,0 +1,92 @@
+/** @file Reproduces paper Table 2: error-correction metric summary. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "ecc/code.hh"
+#include "ecc/montecarlo.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printTable2()
+{
+    benchBanner("Table 2", "error-correction metric summary");
+    const auto params = iontrap::Params::future();
+
+    struct PaperRef {
+        double ec[2];
+        double size[2];
+        double gate[2];
+    };
+    const PaperRef paper_steane{{3.1e-3, 0.3}, {0.2, 3.4}, {6.2e-3, 0.5}};
+    const PaperRef paper_bs{{1.2e-3, 0.1}, {0.1, 2.4}, {2.4e-3, 0.2}};
+
+    AsciiTable t;
+    t.setHeader({"Code-Level", "EC time [s]", "Qubit size [mm^2]",
+                 "Transversal gate [s]", "Data ions", "Ancilla ions"});
+    t.setAlign(0, Align::Left);
+    for (const auto kind : {ecc::CodeKind::Steane713,
+                            ecc::CodeKind::BaconShor913}) {
+        const auto code = ecc::Code::byKind(kind);
+        const auto &ref = kind == ecc::CodeKind::Steane713
+                              ? paper_steane
+                              : paper_bs;
+        for (ecc::Level level = 1; level <= 2; ++level) {
+            const auto i = static_cast<std::size_t>(level - 1);
+            t.addRow({"[[" + std::to_string(code.n()) + ",1,3]] - L" +
+                          std::to_string(level),
+                      AsciiTable::sci(code.ecTime(level, params)) +
+                          " (" + AsciiTable::sci(ref.ec[i]) + ")",
+                      AsciiTable::num(code.qubitAreaMm2(level, params),
+                                      2) +
+                          " (" + AsciiTable::num(ref.size[i], 1) + ")",
+                      AsciiTable::sci(
+                          code.transversalGateTime(level, params)) +
+                          " (" + AsciiTable::sci(ref.gate[i]) + ")",
+                      AsciiTable::num(
+                          static_cast<std::uint64_t>(code.dataIons(level))),
+                      AsciiTable::num(static_cast<std::uint64_t>(
+                          code.ancillaIons(level)))});
+        }
+    }
+    t.print(std::cout);
+
+    for (const auto kind : {ecc::CodeKind::Steane713,
+                            ecc::CodeKind::BaconShor913}) {
+        const ecc::EcMonteCarlo mc(ecc::Code::byKind(kind));
+        std::printf("%s model pseudo-threshold: %.2e (Eq.1 threshold "
+                    "constant: %.2e)\n",
+                    ecc::Code::byKind(kind).name().c_str(),
+                    mc.pseudoThreshold(),
+                    ecc::Code::byKind(kind).threshold());
+    }
+    std::printf("\n");
+}
+
+void
+BM_EcTime(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    const auto code = ecc::Code::steane();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(code.ecTime(2, params));
+}
+BENCHMARK(BM_EcTime);
+
+void
+BM_MonteCarloLevel1(benchmark::State &state)
+{
+    const ecc::EcMonteCarlo mc(ecc::Code::steane());
+    Random rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.estimate(1, 1e-3, 1000, rng).rate);
+}
+BENCHMARK(BM_MonteCarloLevel1);
+
+} // namespace
+
+QMH_BENCH_MAIN(printTable2)

@@ -1,0 +1,70 @@
+/** @file Reproduces paper Table 3: code-transfer network latencies. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "net/transfer.hh"
+
+using namespace qmh;
+
+namespace {
+
+void
+printTable3()
+{
+    benchBanner("Table 3", "transfer-network latency matrix [s]");
+    const auto params = iontrap::Params::future();
+    const net::TransferNetwork network(params);
+
+    const std::vector<net::Encoding> encodings = {
+        {ecc::CodeKind::Steane713, 1},
+        {ecc::CodeKind::Steane713, 2},
+        {ecc::CodeKind::BaconShor913, 1},
+        {ecc::CodeKind::BaconShor913, 2}};
+    // Paper Table 3, row = source, column = destination.
+    const double paper[4][4] = {{0, 0.6, 0.02, 0.2},
+                                {1.3, 0, 1.3, 1.5},
+                                {0.01, 0.5, 0, 0.1},
+                                {0.4, 0.9, 0.4, 0}};
+
+    const auto matrix = network.latencyMatrix(encodings);
+    AsciiTable t;
+    std::vector<std::string> header = {"from \\ to"};
+    for (const auto &e : encodings)
+        header.push_back(net::encodingLabel(e));
+    t.setHeader(header);
+    t.setAlign(0, Align::Left);
+    for (std::size_t i = 0; i < encodings.size(); ++i) {
+        std::vector<std::string> row = {net::encodingLabel(encodings[i])};
+        for (std::size_t j = 0; j < encodings.size(); ++j) {
+            row.push_back(AsciiTable::num(matrix[i][j], 3) + " (" +
+                          AsciiTable::num(paper[i][j], 2) + ")");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::printf("Model: T = %.1f x EC(src) + %.1f x EC(dst); see "
+                "EXPERIMENTS.md for the single outlier (9-L1 -> 9-L2).\n\n",
+                net::TransferNetwork::src_ec_equivalents,
+                net::TransferNetwork::dst_ec_equivalents);
+}
+
+void
+BM_TransferMatrix(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    const net::TransferNetwork network(params);
+    const std::vector<net::Encoding> encodings = {
+        {ecc::CodeKind::Steane713, 1},
+        {ecc::CodeKind::Steane713, 2},
+        {ecc::CodeKind::BaconShor913, 1},
+        {ecc::CodeKind::BaconShor913, 2}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(network.latencyMatrix(encodings));
+}
+BENCHMARK(BM_TransferMatrix);
+
+} // namespace
+
+QMH_BENCH_MAIN(printTable3)

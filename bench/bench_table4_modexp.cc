@@ -1,0 +1,95 @@
+/** @file Reproduces paper Table 4: CQLA modular-exponentiation gains. */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "cqla/perf_model.hh"
+#include "gen/draper.hh"
+#include "sched/scheduler.hh"
+
+using namespace qmh;
+
+namespace {
+
+struct PaperRow
+{
+    int n;
+    unsigned blocks;
+    double area_st, area_bs, sp_st, sp_bs, gp_st, gp_bs;
+};
+
+const PaperRow paper_rows[] = {
+    {32, 4, 6.69, 9.80, 0.54, 1.47, 3.61, 14.41},
+    {32, 9, 3.22, 4.74, 0.97, 2.9, 3.14, 13.74},
+    {64, 9, 6.36, 9.32, 0.70, 1.92, 4.45, 17.70},
+    {64, 16, 3.79, 5.56, 0.98, 3.0, 3.71, 16.68},
+    {128, 16, 7.24, 10.6, 0.72, 1.97, 5.24, 20.88},
+    {128, 25, 4.90, 7.17, 0.96, 2.84, 4.70, 20.36},
+    {256, 36, 6.65, 9.47, 0.92, 2.51, 6.12, 23.68},
+    {256, 49, 5.07, 7.43, 0.98, 2.98, 4.96, 22.14},
+    {512, 64, 7.42, 10.87, 0.92, 2.50, 6.80, 27.18},
+    {512, 81, 6.06, 8.87, 0.98, 2.91, 5.94, 25.81},
+    {1024, 100, 9.14, 13.4, 0.80, 2.19, 7.35, 29.35},
+    {1024, 121, 7.81, 11.45, 0.97, 2.65, 7.60, 30.34},
+};
+
+void
+printTable4()
+{
+    benchBanner("Table 4",
+                "CQLA vs QLA for modular exponentiation "
+                "(area reduced / speedup / gain product)");
+    const auto params = iontrap::Params::future();
+    cqla::PerformanceModel perf(params);
+
+    AsciiTable t;
+    t.setHeader({"Input", "Blocks", "Area St", "Area BSr", "SpUp St",
+                 "SpUp BSr", "GP St", "GP BSr"});
+    for (const auto &p : paper_rows) {
+        const auto row = perf.table4Row(p.n, p.blocks);
+        auto cell = [](double model, double paper) {
+            return AsciiTable::num(model, 2) + " (" +
+                   AsciiTable::num(paper, 2) + ")";
+        };
+        t.addRow({std::to_string(p.n) + "-bit",
+                  std::to_string(p.blocks),
+                  cell(row.area_reduced_steane, p.area_st),
+                  cell(row.area_reduced_bacon_shor, p.area_bs),
+                  cell(row.speedup_steane, p.sp_st),
+                  cell(row.speedup_bacon_shor, p.sp_bs),
+                  cell(row.gain_product_steane, p.gp_st),
+                  cell(row.gain_product_bacon_shor, p.gp_bs)});
+    }
+    t.print(std::cout);
+    std::printf("Headline: up to %.1fx area reduction (Bacon-Shor, "
+                "1024-bit, 100 blocks)\n\n",
+                perf.table4Row(1024, 100).area_reduced_bacon_shor);
+}
+
+void
+BM_AdderGeneration(benchmark::State &state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen::draperAdder(
+            n, true, nullptr, gen::UncomputeMode::CarriesLeftDirty));
+}
+BENCHMARK(BM_AdderGeneration)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_RoundSchedule(benchmark::State &state)
+{
+    const auto prog = gen::draperAdder(
+        static_cast<int>(state.range(0)), true, nullptr,
+        gen::UncomputeMode::CarriesLeftDirty);
+    const sched::LatencyModel lat;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::roundSchedule(prog, lat, 49).makespan);
+}
+BENCHMARK(BM_RoundSchedule)->Arg(256)->Arg(1024);
+
+} // namespace
+
+QMH_BENCH_MAIN(printTable4)

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: every bench prints its
+ * paper artifact (table or figure series) and then runs a small
+ * google-benchmark suite over the kernels that produced it.
+ */
+
+#ifndef QMH_BENCH_UTIL_HH
+#define QMH_BENCH_UTIL_HH
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+/** Print the bench banner. */
+inline void
+benchBanner(const char *artifact, const char *description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s - %s\n", artifact, description);
+    std::printf("(model values computed by qmh; paper values in parentheses)\n");
+    std::printf("==============================================================\n");
+}
+
+/** Run the reproduction printer, then google-benchmark. */
+#define QMH_BENCH_MAIN(print_fn)                                       \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        print_fn();                                                    \
+        ::benchmark::Initialize(&argc, argv);                          \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))      \
+            return 1;                                                  \
+        ::benchmark::RunSpecifiedBenchmarks();                         \
+        return 0;                                                      \
+    }
+
+#endif // QMH_BENCH_UTIL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scenario: pick the best CQLA configuration for a problem size.
+ *
+ * Sweeps compute-block counts, evaluates area/speedup/gain product for
+ * both codes, reports the optimal superblock size from the bandwidth
+ * model, and suggests the configuration with the best gain product.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cqla/area_model.hh"
+#include "cqla/hierarchy.hh"
+#include "net/bandwidth.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qmh;
+
+    int n = 512;
+    if (argc > 1)
+        n = std::atoi(argv[1]);
+
+    const auto params = iontrap::Params::future();
+    cqla::PerformanceModel perf(params);
+    const cqla::AreaModel area(params);
+
+    std::printf("=== CQLA design sweep for %d-bit modular "
+                "exponentiation ===\n\n", n);
+    std::printf("%7s | %21s | %21s\n", "", "Steane [[7,1,3]]",
+                "Bacon-Shor [[9,1,3]]");
+    std::printf("%7s | %7s %6s %6s | %7s %6s %6s\n", "blocks", "area",
+                "speed", "GP", "area", "speed", "GP");
+
+    unsigned best_blocks = 0;
+    double best_gp = 0.0;
+    for (unsigned b = 4; b <= 196; b += 8) {
+        const auto steane = ecc::Code::steane();
+        const auto bs = ecc::Code::baconShor();
+        const double a_st = area.areaReductionFactor(steane, n, b);
+        const double a_bs = area.areaReductionFactor(bs, n, b);
+        const double s_st = perf.speedup(steane, n, b);
+        const double s_bs = perf.speedup(bs, n, b);
+        std::printf("%7u | %7.2f %6.2f %6.1f | %7.2f %6.2f %6.1f\n", b,
+                    a_st, s_st, a_st * s_st, a_bs, s_bs, a_bs * s_bs);
+        if (a_bs * s_bs > best_gp) {
+            best_gp = a_bs * s_bs;
+            best_blocks = b;
+        }
+    }
+
+    const net::BandwidthModel bw(ecc::Code::baconShor(), 2, params);
+    std::printf("\nbest gain product: %.1f at %u blocks (Bacon-Shor)\n",
+                best_gp, best_blocks);
+    std::printf("optimal superblock size from perimeter bandwidth: %u "
+                "blocks => arrange %u blocks as %u superblock(s)\n",
+                bw.crossoverBlocks(), best_blocks,
+                (best_blocks + bw.crossoverBlocks() - 1) /
+                    bw.crossoverBlocks());
+    return 0;
+}

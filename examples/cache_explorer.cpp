@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Scenario: explore the quantum cache design space (paper Fig. 7).
+ *
+ * Sweeps fetch policy, cache capacity and warm/cold start for a
+ * chosen adder width, printing hit rates and transfer traffic so a
+ * designer can size the level-1 cache and transfer network.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "gen/draper.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qmh;
+
+    int n = 256;
+    if (argc > 1)
+        n = std::atoi(argv[1]);
+    if (n < 8 || n > 4096) {
+        std::fprintf(stderr, "usage: %s [adder-width 8..4096]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    gen::AdderLayout layout;
+    const auto adder = gen::draperAdder(
+        n, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> cacheable(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * n; ++i)
+        cacheable[static_cast<std::size_t>(i)] = true;
+
+    std::printf("=== cache design space, %d-bit adder "
+                "(%zu instructions, %d data qubits) ===\n",
+                n, adder.size(), 2 * n);
+    std::printf("%10s %12s %6s %10s %10s %10s\n", "capacity", "policy",
+                "warm", "hit-rate", "misses", "evictions");
+
+    for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
+        const auto capacity = static_cast<std::size_t>(2 * n * frac);
+        for (const auto policy :
+             {cache::FetchPolicy::InOrder,
+              cache::FetchPolicy::OptimizedLookahead}) {
+            for (const bool warm : {false, true}) {
+                const auto r = cache::simulateCache(
+                    adder, capacity, policy, warm, cacheable);
+                std::printf("%10zu %12s %6s %9.1f%% %10llu %10llu\n",
+                            capacity, cache::fetchPolicyName(policy),
+                            warm ? "yes" : "no", 100.0 * r.hitRate(),
+                            static_cast<unsigned long long>(r.misses),
+                            static_cast<unsigned long long>(
+                                r.evictions));
+            }
+        }
+    }
+    std::printf("\nEach miss is one code transfer between memory (L2) "
+                "and cache (L1);\nsize the transfer network for the "
+                "optimized-warm miss rate.\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+#include "cache_sim.hh"
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace cache {
+
+const char *
+fetchPolicyName(FetchPolicy policy)
+{
+    switch (policy) {
+      case FetchPolicy::InOrder:
+        return "in-order";
+      case FetchPolicy::OptimizedLookahead:
+        return "optimized";
+    }
+    qmh_panic("unknown FetchPolicy");
+}
+
+QubitCache::QubitCache(std::size_t capacity) : _capacity(capacity)
+{
+    if (capacity == 0)
+        qmh_fatal("QubitCache: capacity must be nonzero");
+}
+
+bool
+QubitCache::touch(circuit::QubitId qubit)
+{
+    const auto it = _entries.find(qubit);
+    if (it != _entries.end()) {
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return true;
+    }
+    if (_entries.size() >= _capacity) {
+        const auto victim = _lru.back();
+        _lru.pop_back();
+        _entries.erase(victim);
+        ++_evictions;
+    }
+    _lru.push_front(qubit);
+    _entries[qubit] = _lru.begin();
+    return false;
+}
+
+bool
+QubitCache::contains(circuit::QubitId qubit) const
+{
+    return _entries.find(qubit) != _entries.end();
+}
+
+namespace {
+
+/** Shared context: the cache plus the cacheability mask. */
+struct SimContext
+{
+    QubitCache &cache;
+    const std::vector<bool> &cacheable;
+
+    bool
+    isCacheable(circuit::QubitId q) const
+    {
+        return cacheable.empty() || cacheable[q.value()];
+    }
+};
+
+/** Issue one instruction: touch cacheable operands, count hits. */
+void
+issue(const circuit::Instruction &inst, SimContext &ctx,
+      CacheSimResult &result, std::uint32_t index)
+{
+    for (const auto &q : inst.operands()) {
+        if (!ctx.isCacheable(q))
+            continue;
+        ++result.accesses;
+        if (ctx.cache.touch(q))
+            ++result.hits;
+        else
+            ++result.misses;
+    }
+    result.issue_order.push_back(index);
+}
+
+void
+runInOrder(const circuit::Program &program, SimContext &ctx,
+           CacheSimResult &result)
+{
+    const auto &insts = program.instructions();
+    for (std::uint32_t i = 0; i < insts.size(); ++i)
+        issue(insts[i], ctx, result, i);
+}
+
+void
+runOptimized(const circuit::Program &program, SimContext &ctx,
+             CacheSimResult &result)
+{
+    const auto &insts = program.instructions();
+    const circuit::DependencyGraph dag(program);
+    const auto m = static_cast<std::uint32_t>(insts.size());
+
+    std::vector<int> remaining(m);
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < m; ++i) {
+        remaining[i] = dag.inDegree(i);
+        if (remaining[i] == 0)
+            ready.push_back(i);
+    }
+
+    std::uint32_t issued = 0;
+    while (issued < m) {
+        if (ready.empty())
+            qmh_panic("cache sim deadlock: ", m - issued,
+                      " instructions blocked");
+        // Greedy selection: most operands already cached; ties go to
+        // the oldest instruction so progress matches program order.
+        std::size_t best_pos = 0;
+        int best_cached = -1;
+        std::uint32_t best_index = 0;
+        for (std::size_t pos = 0; pos < ready.size(); ++pos) {
+            const auto idx = ready[pos];
+            int cached = 0;
+            int relevant = 0;
+            for (const auto &q : insts[idx].operands()) {
+                if (!ctx.isCacheable(q))
+                    continue;
+                ++relevant;
+                cached += ctx.cache.contains(q) ? 1 : 0;
+            }
+            // Normalize by arity: an instruction with all cacheable
+            // operands resident beats one with some missing.
+            const int missing = relevant - cached;
+            const int score = 1000 * (missing == 0) + cached * 10 -
+                              missing;
+            if (best_cached < 0 || score > best_cached ||
+                (score == best_cached && idx < best_index)) {
+                best_cached = score;
+                best_pos = pos;
+                best_index = idx;
+            }
+        }
+
+        const auto idx = ready[best_pos];
+        ready[best_pos] = ready.back();
+        ready.pop_back();
+        issue(insts[idx], ctx, result, idx);
+        ++issued;
+        for (const auto s : dag.successors(idx)) {
+            if (--remaining[s] == 0)
+                ready.push_back(s);
+        }
+    }
+}
+
+} // namespace
+
+CacheSimResult
+simulateCache(const circuit::Program &program, std::size_t capacity,
+              FetchPolicy policy, bool warm_start,
+              const std::vector<bool> &cacheable)
+{
+    if (!cacheable.empty() &&
+        cacheable.size() != static_cast<std::size_t>(program.qubitCount()))
+        qmh_fatal("simulateCache: cacheable mask size ", cacheable.size(),
+                  " != qubit count ", program.qubitCount());
+    QubitCache cache(capacity);
+    SimContext ctx{cache, cacheable};
+    CacheSimResult result;
+    result.policy = policy;
+    result.capacity = capacity;
+
+    for (int pass = warm_start ? 0 : 1; pass < 2; ++pass) {
+        result.accesses = 0;
+        result.hits = 0;
+        result.misses = 0;
+        result.issue_order.clear();
+        if (policy == FetchPolicy::InOrder)
+            runInOrder(program, ctx, result);
+        else
+            runOptimized(program, ctx, result);
+    }
+    result.evictions = cache.evictions();
+    return result;
+}
+
+} // namespace cache
+} // namespace qmh

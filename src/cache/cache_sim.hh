@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Quantum cache simulator (paper Section 5.2, Fig. 7).
+ *
+ * The cache holds logical qubits at level-1 encoding next to the
+ * level-1 compute region; memory holds them at level 2. An instruction
+ * can only execute when its operands are cached; a miss costs a
+ * code-transfer from memory. Replacement is least-recently-used.
+ *
+ * Two fetch policies are modeled:
+ *  - InOrder: issue the instruction stream as written (the paper
+ *    measures ~20% hit rate on the Draper adder);
+ *  - OptimizedLookahead: with static scheduling the fetch window is
+ *    the whole program, so the simulator builds the dependency list
+ *    and greedily issues the ready instruction with the most operands
+ *    already cached (~85% in the paper, roughly independent of adder
+ *    and cache size).
+ */
+
+#ifndef QMH_CACHE_CACHE_SIM_HH
+#define QMH_CACHE_CACHE_SIM_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/dag.hh"
+#include "circuit/program.hh"
+
+namespace qmh {
+namespace cache {
+
+/** Instruction selection policy. */
+enum class FetchPolicy {
+    InOrder,
+    OptimizedLookahead
+};
+
+/** Human-readable policy name. */
+const char *fetchPolicyName(FetchPolicy policy);
+
+/** Fully-associative LRU cache of logical qubits. */
+class QubitCache
+{
+  public:
+    explicit QubitCache(std::size_t capacity);
+
+    /**
+     * Access @p qubit: returns true on hit. On miss the qubit is
+     * brought in, evicting the least-recently-used entry if full.
+     */
+    bool touch(circuit::QubitId qubit);
+
+    /** Non-mutating lookup. */
+    bool contains(circuit::QubitId qubit) const;
+
+    std::size_t capacity() const { return _capacity; }
+    std::size_t size() const { return _entries.size(); }
+    std::uint64_t evictions() const { return _evictions; }
+
+  private:
+    std::size_t _capacity;
+    // MRU at front. List + index map gives O(1) touch.
+    std::list<circuit::QubitId> _lru;
+    std::unordered_map<circuit::QubitId,
+                       std::list<circuit::QubitId>::iterator> _entries;
+    std::uint64_t _evictions = 0;
+};
+
+/** Result of a cache simulation run. */
+struct CacheSimResult
+{
+    std::uint64_t accesses = 0;   ///< operand touches
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    FetchPolicy policy{};
+    std::size_t capacity = 0;
+
+    /** Order in which instructions were issued. */
+    std::vector<std::uint32_t> issue_order;
+
+    double
+    hitRate() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/**
+ * Run the cache simulation of @p program with a cache of
+ * @p capacity logical qubits under @p policy.
+ *
+ * @param warm_start when true the program is run once beforehand to
+ *        warm the cache (steady-state behaviour of repeated additions
+ *        in modular exponentiation)
+ * @param cacheable optional per-qubit mask: qubits outside the mask
+ *        are compute-block-local scratch (Toffoli workspace, carry
+ *        ancilla) that never crosses the memory hierarchy; empty means
+ *        every qubit is cacheable
+ */
+CacheSimResult simulateCache(const circuit::Program &program,
+                             std::size_t capacity, FetchPolicy policy,
+                             bool warm_start = false,
+                             const std::vector<bool> &cacheable = {});
+
+} // namespace cache
+} // namespace qmh
+
+#endif // QMH_CACHE_CACHE_SIM_HH

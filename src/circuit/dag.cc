@@ -1,0 +1,92 @@
+#include "dag.hh"
+
+#include <algorithm>
+#include <span>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace circuit {
+
+DependencyGraph::DependencyGraph(const Program &program)
+{
+    const auto &insts = program.instructions();
+    const std::size_t m = insts.size();
+    _preds.resize(m);
+    _succs.resize(m);
+    _in_degree.assign(m, 0);
+    _asap.assign(m, 0);
+
+    // last_writer[q] = most recent instruction touching qubit q.
+    std::vector<std::int64_t> last_writer(
+        static_cast<std::size_t>(program.qubitCount()), -1);
+
+    for (std::size_t i = 0; i < m; ++i) {
+        if (insts[i].kind == GateKind::Barrier) {
+            // A barrier synchronizes against every qubit: depend on
+            // the distinct set of last touchers and become the last
+            // toucher of everything.
+            std::vector<std::uint32_t> preds;
+            for (auto &last : last_writer) {
+                if (last >= 0)
+                    preds.push_back(static_cast<std::uint32_t>(last));
+                last = static_cast<std::int64_t>(i);
+            }
+            std::sort(preds.begin(), preds.end());
+            preds.erase(std::unique(preds.begin(), preds.end()),
+                        preds.end());
+            for (const auto p : preds) {
+                _preds[i].push_back(p);
+                _succs[p].push_back(static_cast<std::uint32_t>(i));
+                ++_in_degree[i];
+            }
+            continue;
+        }
+        for (const auto &q : insts[i].operands()) {
+            const auto prev = last_writer[q.value()];
+            if (prev >= 0) {
+                const auto p = static_cast<std::uint32_t>(prev);
+                // Avoid duplicate edges when two operands share the
+                // same predecessor.
+                if (std::find(_preds[i].begin(), _preds[i].end(), p) ==
+                    _preds[i].end()) {
+                    _preds[i].push_back(p);
+                    _succs[p].push_back(static_cast<std::uint32_t>(i));
+                    ++_in_degree[i];
+                }
+            }
+            last_writer[q.value()] = static_cast<std::int64_t>(i);
+        }
+    }
+
+    // ASAP levels: instructions are already in a valid topological
+    // order (program order), so one forward pass suffices.
+    for (std::size_t i = 0; i < m; ++i) {
+        std::uint32_t level = 0;
+        for (const auto p : _preds[i])
+            level = std::max(level, _asap[p] + 1);
+        _asap[i] = level;
+        _depth = std::max(_depth, level + 1);
+    }
+}
+
+std::vector<std::uint32_t>
+DependencyGraph::parallelismProfile() const
+{
+    std::vector<std::uint32_t> profile(_depth, 0);
+    for (const auto level : _asap)
+        ++profile[level];
+    return profile;
+}
+
+std::uint32_t
+DependencyGraph::maxParallelism() const
+{
+    std::uint32_t best = 0;
+    for (const auto count : parallelismProfile())
+        best = std::max(best, count);
+    return best;
+}
+
+} // namespace circuit
+} // namespace qmh

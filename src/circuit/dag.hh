@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-dependency analysis of a logical program.
+ *
+ * Two instructions conflict when they share a qubit operand (quantum
+ * data cannot be copied, so every shared operand is a true dependency).
+ * The DAG drives the list scheduler, the parallelism profiles (paper
+ * Fig. 2) and the optimized cache fetch policy (paper Section 5.2).
+ */
+
+#ifndef QMH_CIRCUIT_DAG_HH
+#define QMH_CIRCUIT_DAG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program.hh"
+
+namespace qmh {
+namespace circuit {
+
+/** Dependency DAG over a program's instructions (indexed by position). */
+class DependencyGraph
+{
+  public:
+    explicit DependencyGraph(const Program &program);
+
+    std::size_t size() const { return _preds.size(); }
+
+    const std::vector<std::uint32_t> &
+    predecessors(std::size_t i) const
+    {
+        return _preds[i];
+    }
+
+    const std::vector<std::uint32_t> &
+    successors(std::size_t i) const
+    {
+        return _succs[i];
+    }
+
+    /** Number of unfinished predecessors at the start (in-degree). */
+    int inDegree(std::size_t i) const { return _in_degree[i]; }
+
+    /**
+     * ASAP level of each instruction under unit gate latency: the
+     * earliest timestep it can issue with unlimited resources.
+     */
+    const std::vector<std::uint32_t> &asapLevels() const { return _asap; }
+
+    /** Critical-path length in gates (max ASAP level + 1); 0 if empty. */
+    std::uint32_t depth() const { return _depth; }
+
+    /**
+     * Per-level instruction counts: the unlimited-resources parallelism
+     * profile of the program (paper Fig. 2's upper curve).
+     */
+    std::vector<std::uint32_t> parallelismProfile() const;
+
+    /** Maximum number of gates issuable in one level. */
+    std::uint32_t maxParallelism() const;
+
+  private:
+    std::vector<std::vector<std::uint32_t>> _preds;
+    std::vector<std::vector<std::uint32_t>> _succs;
+    std::vector<int> _in_degree;
+    std::vector<std::uint32_t> _asap;
+    std::uint32_t _depth = 0;
+};
+
+} // namespace circuit
+} // namespace qmh
+
+#endif // QMH_CIRCUIT_DAG_HH

@@ -1,0 +1,134 @@
+#include "instruction.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace circuit {
+
+const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:       return "x";
+      case GateKind::Z:       return "z";
+      case GateKind::H:       return "h";
+      case GateKind::S:       return "s";
+      case GateKind::T:       return "t";
+      case GateKind::Cnot:    return "cnot";
+      case GateKind::Cphase:  return "cphase";
+      case GateKind::Swap:    return "swap";
+      case GateKind::Toffoli: return "toffoli";
+      case GateKind::Measure: return "measure";
+      case GateKind::Barrier: return "barrier";
+    }
+    qmh_panic("unknown GateKind");
+}
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::T:
+      case GateKind::Measure:
+        return 1;
+      case GateKind::Barrier:
+        return 0;
+      case GateKind::Cnot:
+      case GateKind::Cphase:
+      case GateKind::Swap:
+        return 2;
+      case GateKind::Toffoli:
+        return 3;
+    }
+    qmh_panic("unknown GateKind");
+}
+
+bool
+isClassicalGate(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Cnot:
+      case GateKind::Swap:
+      case GateKind::Toffoli:
+      case GateKind::Barrier:  // no-op under classical semantics
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << gateName(kind);
+    if (kind == GateKind::Cphase)
+        os << ' ' << param;
+    for (const auto &q : operands())
+        os << " q" << q.value();
+    return os.str();
+}
+
+Instruction
+Instruction::makeBarrier()
+{
+    Instruction inst;
+    inst.kind = GateKind::Barrier;
+    inst.arity = 0;
+    return inst;
+}
+
+Instruction
+Instruction::makeOne(GateKind kind, QubitId a)
+{
+    if (gateArity(kind) != 1)
+        qmh_panic("makeOne: ", gateName(kind), " is not a 1-qubit gate");
+    Instruction inst;
+    inst.kind = kind;
+    inst.ops[0] = a;
+    inst.arity = 1;
+    return inst;
+}
+
+Instruction
+Instruction::makeTwo(GateKind kind, QubitId a, QubitId b,
+                     std::int32_t param)
+{
+    if (gateArity(kind) != 2)
+        qmh_panic("makeTwo: ", gateName(kind), " is not a 2-qubit gate");
+    if (a == b)
+        qmh_panic("makeTwo: duplicate operand q", a.value());
+    Instruction inst;
+    inst.kind = kind;
+    inst.ops[0] = a;
+    inst.ops[1] = b;
+    inst.arity = 2;
+    inst.param = param;
+    return inst;
+}
+
+Instruction
+Instruction::makeThree(GateKind kind, QubitId a, QubitId b, QubitId c)
+{
+    if (gateArity(kind) != 3)
+        qmh_panic("makeThree: ", gateName(kind), " is not a 3-qubit gate");
+    if (a == b || a == c || b == c)
+        qmh_panic("makeThree: duplicate operand");
+    Instruction inst;
+    inst.kind = kind;
+    inst.ops[0] = a;
+    inst.ops[1] = b;
+    inst.ops[2] = c;
+    inst.arity = 3;
+    return inst;
+}
+
+} // namespace circuit
+} // namespace qmh

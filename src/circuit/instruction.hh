@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Logical-level instruction set. The paper's cache simulator consumes
+ * "a sequence of instructions; each instruction is similar to assembly
+ * language and describes a logical gate between qubits" (Section 5.2);
+ * this is that instruction set.
+ */
+
+#ifndef QMH_CIRCUIT_INSTRUCTION_HH
+#define QMH_CIRCUIT_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/strong_id.hh"
+
+namespace qmh {
+namespace circuit {
+
+/** Strongly-typed logical qubit index within a program. */
+using QubitId = StrongId<struct QubitIdTag>;
+
+/** Logical gate kinds. */
+enum class GateKind : std::uint8_t {
+    X,        ///< bit flip
+    Z,        ///< phase flip
+    H,        ///< Hadamard
+    S,        ///< phase gate
+    T,        ///< pi/8 gate (the expensive non-Clifford gate)
+    Cnot,     ///< controlled-X
+    Cphase,   ///< controlled phase rotation R_k (QFT); param = k
+    Swap,     ///< exchange two logical qubits
+    Toffoli,  ///< controlled-controlled-X
+    Measure,  ///< computational-basis measurement
+    Barrier   ///< scheduling barrier: closes the current logical round
+};
+
+/** Human-readable mnemonic, matching the assembly syntax. */
+const char *gateName(GateKind kind);
+
+/** Number of qubit operands a gate kind takes. */
+int gateArity(GateKind kind);
+
+/**
+ * True when a gate is classical reversible logic (X/Cnot/Swap/Toffoli)
+ * and can be executed by the bit-vector simulator.
+ */
+bool isClassicalGate(GateKind kind);
+
+/** One logical instruction: a gate applied to 1-3 qubit operands. */
+struct Instruction
+{
+    GateKind kind{GateKind::X};
+    std::array<QubitId, 3> ops{};
+    std::uint8_t arity = 0;
+    /** Gate parameter (rotation index k for Cphase, else 0). */
+    std::int32_t param = 0;
+
+    /** The operands actually used. */
+    std::span<const QubitId>
+    operands() const
+    {
+        return {ops.data(), arity};
+    }
+
+    /** Mnemonic plus operands, e.g. "toffoli q1 q2 q7". */
+    std::string toString() const;
+
+    /** Factory helpers. */
+    static Instruction makeOne(GateKind kind, QubitId a);
+    static Instruction makeTwo(GateKind kind, QubitId a, QubitId b,
+                               std::int32_t param = 0);
+    static Instruction makeThree(GateKind kind, QubitId a, QubitId b,
+                                 QubitId c);
+    static Instruction makeBarrier();
+};
+
+} // namespace circuit
+} // namespace qmh
+
+#endif // QMH_CIRCUIT_INSTRUCTION_HH

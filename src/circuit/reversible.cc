@@ -1,0 +1,102 @@
+#include "reversible.hh"
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace circuit {
+
+ReversibleState::ReversibleState(int qubits)
+{
+    if (qubits < 0)
+        qmh_fatal("ReversibleState: negative qubit count");
+    _bits.assign(static_cast<std::size_t>(qubits), false);
+}
+
+bool
+ReversibleState::get(QubitId q) const
+{
+    if (!q.isValid() || q.value() >= _bits.size())
+        qmh_panic("ReversibleState::get: qubit out of range");
+    return _bits[q.value()];
+}
+
+void
+ReversibleState::set(QubitId q, bool value)
+{
+    if (!q.isValid() || q.value() >= _bits.size())
+        qmh_panic("ReversibleState::set: qubit out of range");
+    _bits[q.value()] = value;
+}
+
+void
+ReversibleState::loadInteger(std::uint64_t value, int offset, int width)
+{
+    if (offset < 0 || width < 0 ||
+        static_cast<std::size_t>(offset + width) > _bits.size())
+        qmh_panic("loadInteger: window outside register");
+    if (width < 64 && value >> width)
+        qmh_panic("loadInteger: value does not fit in ", width, " bits");
+    for (int i = 0; i < width; ++i)
+        _bits[static_cast<std::size_t>(offset + i)] =
+            (value >> i) & 1ULL;
+}
+
+std::uint64_t
+ReversibleState::readInteger(int offset, int width) const
+{
+    if (offset < 0 || width < 0 || width > 64 ||
+        static_cast<std::size_t>(offset + width) > _bits.size())
+        qmh_panic("readInteger: window outside register");
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i)
+        if (_bits[static_cast<std::size_t>(offset + i)])
+            value |= 1ULL << i;
+    return value;
+}
+
+void
+ReversibleState::apply(const Instruction &inst)
+{
+    switch (inst.kind) {
+      case GateKind::Barrier:
+        return;
+      case GateKind::X:
+        _bits[inst.ops[0].value()] = !_bits[inst.ops[0].value()];
+        return;
+      case GateKind::Cnot:
+        if (_bits[inst.ops[0].value()])
+            _bits[inst.ops[1].value()] = !_bits[inst.ops[1].value()];
+        return;
+      case GateKind::Swap: {
+        const bool tmp = _bits[inst.ops[0].value()];
+        _bits[inst.ops[0].value()] = _bits[inst.ops[1].value()];
+        _bits[inst.ops[1].value()] = tmp;
+        return;
+      }
+      case GateKind::Toffoli:
+        if (_bits[inst.ops[0].value()] && _bits[inst.ops[1].value()])
+            _bits[inst.ops[2].value()] = !_bits[inst.ops[2].value()];
+        return;
+      default:
+        qmh_panic("ReversibleState: non-classical gate '",
+                  inst.toString(), "'");
+    }
+}
+
+bool
+ReversibleState::run(const Program &program)
+{
+    if (program.qubitCount() > qubitCount())
+        qmh_panic("ReversibleState::run: program needs ",
+                  program.qubitCount(), " qubits, state has ",
+                  qubitCount());
+    for (const auto &inst : program.instructions()) {
+        if (!isClassicalGate(inst.kind))
+            return false;
+        apply(inst);
+    }
+    return true;
+}
+
+} // namespace circuit
+} // namespace qmh

@@ -1,0 +1,196 @@
+#include "text_format.hh"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace qmh {
+namespace circuit {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens, dropping comments. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char ch : line) {
+        if (ch == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(ch);
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+std::optional<GateKind>
+kindFromName(const std::string &name)
+{
+    static const struct { const char *name; GateKind kind; } table[] = {
+        {"x", GateKind::X},          {"z", GateKind::Z},
+        {"h", GateKind::H},          {"s", GateKind::S},
+        {"t", GateKind::T},          {"cnot", GateKind::Cnot},
+        {"cphase", GateKind::Cphase},{"swap", GateKind::Swap},
+        {"toffoli", GateKind::Toffoli},
+        {"measure", GateKind::Measure},
+        {"barrier", GateKind::Barrier},
+    };
+    for (const auto &entry : table)
+        if (name == entry.name)
+            return entry.kind;
+    return std::nullopt;
+}
+
+std::optional<long>
+parseInt(const std::string &tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    std::size_t pos = 0;
+    long value = 0;
+    try {
+        value = std::stol(tok, &pos);
+    } catch (...) {
+        return std::nullopt;
+    }
+    if (pos != tok.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<QubitId>
+parseQubit(const std::string &tok, int register_size)
+{
+    if (tok.size() < 2 || tok[0] != 'q')
+        return std::nullopt;
+    const auto idx = parseInt(tok.substr(1));
+    if (!idx || *idx < 0 || *idx >= register_size)
+        return std::nullopt;
+    return QubitId(static_cast<QubitId::rep_type>(*idx));
+}
+
+} // namespace
+
+void
+writeText(const Program &program, std::ostream &os)
+{
+    os << "name " << program.name() << "\n";
+    os << "qubits " << program.qubitCount() << "\n";
+    for (const auto &inst : program.instructions())
+        os << inst.toString() << "\n";
+}
+
+std::string
+writeText(const Program &program)
+{
+    std::ostringstream os;
+    writeText(program, os);
+    return os.str();
+}
+
+ParseResult
+parseText(const std::string &text)
+{
+    ParseResult result;
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    std::string name = "program";
+    int qubits = -1;
+    std::vector<Instruction> pending;
+
+    auto fail = [&](const std::string &msg) {
+        result.ok = false;
+        result.error = msg;
+        result.line = line_no;
+        return result;
+    };
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+
+        if (tokens[0] == "name") {
+            if (tokens.size() != 2)
+                return fail("'name' takes exactly one token");
+            name = tokens[1];
+            continue;
+        }
+        if (tokens[0] == "qubits") {
+            if (tokens.size() != 2)
+                return fail("'qubits' takes exactly one integer");
+            const auto count = parseInt(tokens[1]);
+            if (!count || *count < 0)
+                return fail("bad qubit count '" + tokens[1] + "'");
+            qubits = static_cast<int>(*count);
+            continue;
+        }
+
+        const auto kind = kindFromName(tokens[0]);
+        if (!kind)
+            return fail("unknown mnemonic '" + tokens[0] + "'");
+        if (qubits < 0)
+            return fail("instruction before 'qubits' directive");
+
+        std::size_t operand_start = 1;
+        std::int32_t param = 0;
+        if (*kind == GateKind::Cphase) {
+            if (tokens.size() < 2)
+                return fail("cphase requires a rotation index");
+            const auto k = parseInt(tokens[1]);
+            if (!k)
+                return fail("bad cphase parameter '" + tokens[1] + "'");
+            param = static_cast<std::int32_t>(*k);
+            operand_start = 2;
+        }
+
+        const int arity = gateArity(*kind);
+        if (tokens.size() != operand_start + static_cast<std::size_t>(arity))
+            return fail(std::string("'") + gateName(*kind) + "' expects " +
+                        std::to_string(arity) + " qubit operand(s)");
+
+        std::array<QubitId, 3> ops{};
+        for (int i = 0; i < arity; ++i) {
+            const auto q = parseQubit(tokens[operand_start + i], qubits);
+            if (!q)
+                return fail("bad qubit operand '" +
+                            tokens[operand_start + i] + "'");
+            ops[static_cast<std::size_t>(i)] = *q;
+        }
+        for (int i = 0; i < arity; ++i)
+            for (int j = i + 1; j < arity; ++j)
+                if (ops[i] == ops[j])
+                    return fail("duplicate operand in '" + line + "'");
+
+        Instruction inst;
+        inst.kind = *kind;
+        inst.ops = ops;
+        inst.arity = static_cast<std::uint8_t>(arity);
+        inst.param = param;
+        pending.push_back(inst);
+    }
+
+    if (qubits < 0)
+        return fail("missing 'qubits' directive");
+
+    result.program = Program(name, qubits);
+    for (const auto &inst : pending)
+        result.program.append(inst);
+    result.ok = true;
+    return result;
+}
+
+} // namespace circuit
+} // namespace qmh

@@ -1,0 +1,143 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace qmh {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Random::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Random::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Random::uniformInt(std::uint64_t bound)
+{
+    if (bound == 0)
+        qmh_panic("uniformInt bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::int64_t
+Random::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        qmh_panic("uniformRange: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Random::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Random::binomial(std::uint64_t n, double p)
+{
+    if (p <= 0.0 || n == 0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+
+    constexpr std::uint64_t direct_cutoff = 64;
+    if (n <= direct_cutoff) {
+        std::uint64_t count = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            count += bernoulli(p) ? 1 : 0;
+        return count;
+    }
+
+    const double mean = static_cast<double>(n) * p;
+    if (mean < 32.0) {
+        // Poisson regime: the normal approximation is badly skewed
+        // here (it misestimates P[X = 0], the quantity the fidelity
+        // sampler depends on). Knuth's product method is exact for
+        // Poisson and the binomial->Poisson error is O(p).
+        const double threshold = std::exp(-mean);
+        std::uint64_t count = 0;
+        double product = uniform();
+        while (product > threshold) {
+            ++count;
+            product *= uniform();
+        }
+        return count < n ? count : n;
+    }
+
+    // Normal approximation with continuity correction, clamped to the
+    // valid range. For the bulk regime the mean is what matters; tails
+    // beyond ~6 sigma are irrelevant.
+    const double sigma = std::sqrt(mean * (1.0 - p));
+    // Box-Muller transform.
+    const double u1 = uniform();
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(6.28318530717958648 *
+                                                        u2);
+    double value = mean + sigma * z + 0.5;
+    if (value < 0.0)
+        value = 0.0;
+    const double max_value = static_cast<double>(n);
+    if (value > max_value)
+        value = max_value;
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace qmh

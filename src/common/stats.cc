@@ -1,0 +1,104 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace qmh {
+namespace stats {
+
+void
+Average::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v;
+    ++_count;
+}
+
+void
+Average::reset()
+{
+    _sum = 0.0;
+    _min = 0.0;
+    _max = 0.0;
+    _count = 0;
+}
+
+Histogram::Histogram(std::string name, std::string desc, double lo,
+                     double hi, std::size_t buckets)
+    : _name(std::move(name)), _desc(std::move(desc)), _lo(lo), _hi(hi),
+      _counts(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        qmh_panic("Histogram '", _name, "': invalid bucket configuration");
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    if (v < _lo) {
+        _underflow += weight;
+        return;
+    }
+    if (v >= _hi) {
+        _overflow += weight;
+        return;
+    }
+    const double width = (_hi - _lo) / static_cast<double>(_counts.size());
+    auto idx = static_cast<std::size_t>((v - _lo) / width);
+    if (idx >= _counts.size())
+        idx = _counts.size() - 1;
+    _counts[idx] += weight;
+}
+
+std::uint64_t
+Histogram::totalSamples() const
+{
+    std::uint64_t total = _underflow + _overflow;
+    for (auto c : _counts)
+        total += c;
+    return total;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_counts.begin(), _counts.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << std::left;
+    for (const auto *s : _scalars) {
+        os << std::setw(40) << (_name + "." + s->name()) << " "
+           << std::setw(16) << s->value() << " # " << s->desc() << "\n";
+    }
+    for (const auto *a : _averages) {
+        os << std::setw(40) << (_name + "." + a->name() + ".mean") << " "
+           << std::setw(16) << a->mean() << " # " << a->desc() << "\n";
+        os << std::setw(40) << (_name + "." + a->name() + ".max") << " "
+           << std::setw(16) << a->max() << " # max of samples\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : _scalars)
+        s->reset();
+    for (auto *a : _averages)
+        a->reset();
+}
+
+} // namespace stats
+} // namespace qmh

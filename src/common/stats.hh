@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Lightweight statistics collection in the spirit of gem5's stats
+ * package: named scalar counters, averages and histograms that a
+ * component registers with a StatGroup and dumps in one call.
+ */
+
+#ifndef QMH_COMMON_STATS_HH
+#define QMH_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qmh {
+namespace stats {
+
+/** A named, monotonically adjustable counter. */
+class Scalar
+{
+  public:
+    Scalar(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    void inc(double v = 1.0) { _value += v; }
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/** Running mean/min/max over samples. */
+class Average
+{
+  public:
+    Average(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    void sample(double v);
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    void reset();
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+    std::uint64_t _count = 0;
+};
+
+/** Fixed-width-bucket histogram with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param name stat name
+     * @param desc human description
+     * @param lo lower edge of the first bucket
+     * @param hi upper edge of the last bucket
+     * @param buckets number of equal-width buckets between lo and hi
+     */
+    Histogram(std::string name, std::string desc, double lo, double hi,
+              std::size_t buckets);
+
+    void sample(double v, std::uint64_t weight = 1);
+    std::uint64_t bucketCount(std::size_t i) const { return _counts.at(i); }
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::uint64_t totalSamples() const;
+    const std::string &name() const { return _name; }
+    void reset();
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _lo;
+    double _hi;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+};
+
+/**
+ * A named collection of stats owned by a component. The group stores
+ * non-owning pointers; the registering component must outlive dumps.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    void add(Scalar *s) { _scalars.push_back(s); }
+    void add(Average *a) { _averages.push_back(a); }
+
+    /** Write "name.stat value # desc" lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    void resetAll();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::vector<Scalar *> _scalars;
+    std::vector<Average *> _averages;
+};
+
+} // namespace stats
+} // namespace qmh
+
+#endif // QMH_COMMON_STATS_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A zero-cost strongly-typed integer identifier.
+ *
+ * Logical qubits, physical ions, compute blocks and instructions all use
+ * small integer handles; wrapping them in distinct types prevents the
+ * classic bug of passing a qubit index where a block index was expected.
+ */
+
+#ifndef QMH_COMMON_STRONG_ID_HH
+#define QMH_COMMON_STRONG_ID_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace qmh {
+
+/**
+ * Strongly-typed integer id. Tag is an empty struct used only to make
+ * instantiations distinct types.
+ */
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId
+{
+  public:
+    using rep_type = Rep;
+
+    constexpr StrongId() = default;
+    constexpr explicit StrongId(Rep v) : _value(v) {}
+
+    /** Raw integer value. */
+    constexpr Rep value() const { return _value; }
+
+    /** An id no valid object ever carries. */
+    static constexpr StrongId
+    invalid()
+    {
+        return StrongId(static_cast<Rep>(~Rep(0)));
+    }
+
+    constexpr bool isValid() const { return _value != ~Rep(0); }
+
+    constexpr bool
+    operator==(const StrongId &other) const = default;
+
+    constexpr bool
+    operator<(const StrongId &other) const
+    {
+        return _value < other._value;
+    }
+
+  private:
+    Rep _value = ~Rep(0);
+};
+
+template <typename Tag, typename Rep>
+std::ostream &
+operator<<(std::ostream &os, const StrongId<Tag, Rep> &id)
+{
+    if (id.isValid())
+        return os << id.value();
+    return os << "<invalid>";
+}
+
+} // namespace qmh
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<qmh::StrongId<Tag, Rep>>
+{
+    size_t
+    operator()(const qmh::StrongId<Tag, Rep> &id) const noexcept
+    {
+        return std::hash<Rep>{}(id.value());
+    }
+};
+
+} // namespace std
+
+#endif // QMH_COMMON_STRONG_ID_HH

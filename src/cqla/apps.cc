@@ -1,0 +1,87 @@
+#include "apps.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "net/bandwidth.hh"
+
+namespace qmh {
+namespace cqla {
+
+ModExpModel::ModExpModel(const ecc::Code &code,
+                         const iontrap::Params &params)
+    : _code(code), _params(params), _perf(params)
+{
+}
+
+double
+ModExpModel::sequentialAdders(int n_bits)
+{
+    if (n_bits < 2)
+        qmh_fatal("sequentialAdders: width must be >= 2");
+    const double n = n_bits;
+    return adder_depth_coeff * n * std::log2(n);
+}
+
+double
+ModExpModel::adderTraffic(int n_bits)
+{
+    // Six operand moves per busy block per Toffoli slot (three in,
+    // three out), over the adder's Toffoli-slot work.
+    const auto &timing = _perf.adderTiming(n_bits);
+    const double toffoli_slots =
+        static_cast<double>(timing.work_steps) /
+        net::BandwidthModel::toffoli_steps;
+    return toffoli_slots * net::BandwidthModel::draper_qubits_per_toffoli;
+}
+
+AppTimes
+ModExpModel::totalTimes(int n_bits, unsigned blocks)
+{
+    AppTimes times;
+    const double adders = sequentialAdders(n_bits);
+    const double adder_s = _perf.adderSeconds(_code, 2, n_bits, blocks);
+    times.computation_s = adders * adder_s;
+
+    // Communication: operand teleports served by the superblock
+    // perimeter channels, aggregated over the run. It overlaps with
+    // computation in the real machine; the figure reports raw totals.
+    const net::TeleportModel teleport(_code, 2, _params);
+    const double channels =
+        4.0 * std::sqrt(static_cast<double>(blocks)) *
+        net::BandwidthModel::channels_per_edge;
+    times.communication_s = adders * adderTraffic(n_bits) *
+                            teleport.teleportTime() / channels;
+    return times;
+}
+
+QftModel::QftModel(const ecc::Code &code, const iontrap::Params &params)
+    : _code(code), _params(params)
+{
+}
+
+std::uint64_t
+QftModel::gateCount(int n_bits)
+{
+    const auto n = static_cast<std::uint64_t>(n_bits);
+    return n * (n - 1) / 2;
+}
+
+AppTimes
+QftModel::totalTimes(int n_bits) const
+{
+    if (n_bits < 2)
+        qmh_fatal("QftModel: width must be >= 2");
+    AppTimes times;
+    const double gates = static_cast<double>(gateCount(n_bits));
+    const double step = _code.gateStepTime(2, _params);
+    times.computation_s = gates * steps_per_cphase * step;
+
+    const net::TeleportModel teleport(_code, 2, _params);
+    times.communication_s = gates * teleports_per_gate *
+                            overlap_discount * teleport.teleportTime();
+    return times;
+}
+
+} // namespace cqla
+} // namespace qmh

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Application models for the two components of Shor's algorithm
+ * (paper Section 6, Fig. 8): modular exponentiation (computation
+ * dominated) and the quantum Fourier transform (communication heavy,
+ * all-to-all personalized traffic).
+ */
+
+#ifndef QMH_CQLA_APPS_HH
+#define QMH_CQLA_APPS_HH
+
+#include "ecc/code.hh"
+#include "iontrap/params.hh"
+#include "net/teleport.hh"
+#include "perf_model.hh"
+
+namespace qmh {
+namespace cqla {
+
+/** Computation/communication split of one application run. */
+struct AppTimes
+{
+    double computation_s = 0.0;
+    double communication_s = 0.0;
+};
+
+/**
+ * Modular exponentiation at adder granularity (paper: "AdderTime is
+ * the average time per adder for modular exponentiation").
+ */
+class ModExpModel
+{
+  public:
+    ModExpModel(const ecc::Code &code, const iontrap::Params &params);
+
+    /**
+     * Sequential adder slots on the critical path of n-bit modular
+     * exponentiation: parallelized partial-product accumulation gives
+     * adder_depth_coeff * n * log2(n) dependent additions (calibrated
+     * to the paper's Fig. 8a hours scale; DESIGN.md section 4.5).
+     */
+    static double sequentialAdders(int n_bits);
+
+    /** Calibrated critical-path coefficient. */
+    static constexpr double adder_depth_coeff = 2.8;
+
+    /** Fig. 8a point: total computation and communication time. */
+    AppTimes totalTimes(int n_bits, unsigned blocks);
+
+    /** Per-adder operand traffic in logical qubit moves. */
+    double adderTraffic(int n_bits);
+
+  private:
+    ecc::Code _code;
+    iontrap::Params _params;
+    PerformanceModel _perf;
+};
+
+/**
+ * Quantum Fourier transform model. Computation follows the paper's
+ * serialized execution (each controlled rotation is followed by error
+ * correction; communication per gate costs almost as much as the gate
+ * because transport is cheap but the arrival EC is not).
+ */
+class QftModel
+{
+  public:
+    QftModel(const ecc::Code &code, const iontrap::Params &params);
+
+    /** Controlled rotations in the n-qubit QFT: n(n-1)/2. */
+    static std::uint64_t gateCount(int n_bits);
+
+    /** Gate-steps per controlled rotation. */
+    static constexpr double steps_per_cphase = 2.0;
+
+    /** Teleports per gate: both operands travel to a meeting block. */
+    static constexpr double teleports_per_gate = 2.0;
+
+    /** Fraction of teleport latency not hidden behind the gate's EC. */
+    static constexpr double overlap_discount = 0.9;
+
+    /** Fig. 8b point. */
+    AppTimes totalTimes(int n_bits) const;
+
+  private:
+    ecc::Code _code;
+    iontrap::Params _params;
+};
+
+} // namespace cqla
+} // namespace qmh
+
+#endif // QMH_CQLA_APPS_HH

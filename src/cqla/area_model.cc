@@ -1,0 +1,97 @@
+#include "area_model.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace qmh {
+namespace cqla {
+
+AreaModel::AreaModel(const iontrap::Params &params) : _params(params)
+{
+}
+
+double
+AreaModel::memoryLayoutFactor(const ecc::Code &code) const
+{
+    // Calibrated against the memory coefficient of the paper's
+    // Table 4 (DESIGN.md section 4.3).
+    switch (code.kind()) {
+      case ecc::CodeKind::Steane713:
+        return 2.08;
+      case ecc::CodeKind::BaconShor913:
+        return 1.17;
+    }
+    qmh_panic("unknown code kind");
+}
+
+double
+AreaModel::memoryQubitAreaMm2(const ecc::Code &code,
+                              ecc::Level level) const
+{
+    const double ions =
+        code.ionsPerDataQubit(level, memory_ancilla_ratio);
+    return units::um2ToMm2(ions * _params.regionAreaUm2()) *
+           memoryLayoutFactor(code);
+}
+
+double
+AreaModel::computeBlockAreaMm2(const ecc::Code &code,
+                               ecc::Level level) const
+{
+    const double tile =
+        code.qubitAreaMm2(level, _params, compute_ancilla_ratio);
+    return qubits_per_block * tile * block_routing;
+}
+
+double
+AreaModel::qlaAreaMm2(int n_bits) const
+{
+    if (n_bits < 1)
+        qmh_fatal("qlaAreaMm2: problem size must be >= 1 bit");
+    const auto steane = ecc::Code::steane();
+    const double tile =
+        steane.qubitAreaMm2(2, _params, compute_ancilla_ratio);
+    return memoryQubits(n_bits) * tile * qla_provisioning;
+}
+
+AreaBreakdown
+AreaModel::cqlaArea(const ecc::Code &code, int n_bits, unsigned blocks,
+                    unsigned cache_qubits,
+                    unsigned transfer_channels) const
+{
+    if (n_bits < 1)
+        qmh_fatal("cqlaArea: problem size must be >= 1 bit");
+    if (blocks == 0)
+        qmh_fatal("cqlaArea: at least one compute block required");
+
+    AreaBreakdown area;
+    area.memory_mm2 =
+        memoryQubits(n_bits) * memoryQubitAreaMm2(code, 2);
+    area.compute_mm2 = blocks * computeBlockAreaMm2(code, 2);
+    if (cache_qubits > 0) {
+        // The cache mirrors the compute-region tile design one level
+        // down (level 1, full ancilla for fast error correction).
+        const double l1_tile =
+            code.qubitAreaMm2(1, _params, compute_ancilla_ratio);
+        area.cache_mm2 = cache_qubits * l1_tile * block_routing;
+    }
+    if (transfer_channels > 0) {
+        // A transfer strip holds one level-2 and one level-1 ancilla
+        // qubit pair plus verification workspace per channel.
+        const double strip =
+            code.qubitAreaMm2(2, _params, compute_ancilla_ratio) +
+            2.0 * code.qubitAreaMm2(1, _params, compute_ancilla_ratio);
+        area.transfer_mm2 = transfer_channels * strip;
+    }
+    return area;
+}
+
+double
+AreaModel::areaReductionFactor(const ecc::Code &code, int n_bits,
+                               unsigned blocks) const
+{
+    return qlaAreaMm2(n_bits) / cqlaArea(code, n_bits, blocks).total();
+}
+
+} // namespace cqla
+} // namespace qmh

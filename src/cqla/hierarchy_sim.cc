@@ -1,0 +1,143 @@
+#include "hierarchy_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "hierarchy.hh"
+#include "net/transfer.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+
+namespace qmh {
+namespace cqla {
+
+HierarchySimResult
+runHierarchySim(const HierarchySimConfig &config,
+                const iontrap::Params &params)
+{
+    if (config.total_adders == 0)
+        qmh_fatal("hierarchy sim needs at least one addition");
+    if (config.level1_fraction < 0.0 || config.level1_fraction > 1.0)
+        qmh_fatal("level1_fraction out of range");
+    if (config.chain_dependent_fraction < 0.0 ||
+        config.chain_dependent_fraction > 1.0)
+        qmh_fatal("chain_dependent_fraction out of range");
+
+    const auto code = ecc::Code::byKind(config.code);
+    HierarchyModel model(params);
+    const auto &timing = model.perf().adderTiming(config.n_bits);
+
+    // Per-adder durations.
+    const double t2_s = timing.boundedMakespanSteps(config.blocks) *
+                        code.gateStepTime(2, params);
+    const double t1_compute_s =
+        static_cast<double>(timing.critical_path_steps) *
+        code.gateStepTime(1, params);
+    const net::TransferNetwork transfer(params);
+    const double per_qubit_s =
+        transfer.transferTime({config.code, 2}, {config.code, 1}) *
+        code.transferChannelCost();
+    const auto critical_qubits = static_cast<unsigned>(
+        HierarchyModel::critical_transfer_qubits);
+
+    const Tick t2 = units::secondsToTicks(t2_s);
+    const Tick t1_compute = units::secondsToTicks(t1_compute_s);
+    const Tick per_qubit = units::secondsToTicks(per_qubit_s);
+
+    sim::EventQueue eq;
+    sim::Resource channels(eq, "transfer-channels",
+                           config.parallel_transfers);
+
+    HierarchySimResult result;
+    const auto l1_target = static_cast<std::uint64_t>(std::llround(
+        config.level1_fraction *
+        static_cast<double>(config.total_adders)));
+    result.level1_adds = l1_target;
+    result.level2_adds = config.total_adders - l1_target;
+
+    Tick l2_busy_until = 0;
+    std::uint64_t l2_remaining = result.level2_adds;
+    std::uint64_t l1_remaining = result.level1_adds;
+    std::uint64_t l1_started = 0;
+    Tick transfer_busy = 0;
+
+    // Level-2 region: back-to-back additions.
+    std::function<void()> dispatch_l2 = [&]() {
+        if (l2_remaining == 0)
+            return;
+        --l2_remaining;
+        l2_busy_until = std::max(l2_busy_until, eq.now()) + t2;
+        eq.schedule(l2_busy_until, [&]() { dispatch_l2(); });
+    };
+
+    // Level-1 pipeline: pull the critical set through the transfer
+    // channels (ceil(critical/channels) serial waves), then compute.
+    // A chain-dependent addition additionally waits for the level-2
+    // accumulator to catch up before its compute phase may start.
+    const unsigned waves =
+        (critical_qubits + config.parallel_transfers - 1) /
+        config.parallel_transfers;
+    const Tick transfer_latency = static_cast<Tick>(waves) * per_qubit;
+
+    std::function<void()> dispatch_l1 = [&]() {
+        if (l1_remaining == 0)
+            return;
+        --l1_remaining;
+        const bool chained =
+            config.chain_dependent_fraction > 0.0 &&
+            static_cast<double>(l1_started % 100) <
+                config.chain_dependent_fraction * 100.0;
+        ++l1_started;
+        transfer_busy += static_cast<Tick>(critical_qubits) * per_qubit;
+        channels.acquire([&, chained]() {
+            eq.scheduleAfter(transfer_latency, [&, chained]() {
+                channels.release();
+                const Tick compute_start =
+                    chained ? std::max(eq.now(), l2_busy_until)
+                            : eq.now();
+                eq.schedule(compute_start + t1_compute,
+                            [&]() { dispatch_l1(); });
+            });
+        });
+    };
+
+    eq.schedule(0, [&]() { dispatch_l2(); });
+    eq.schedule(0, [&]() { dispatch_l1(); });
+    eq.run();
+
+    result.makespan_s = units::ticksToSeconds(eq.now());
+    result.baseline_s =
+        static_cast<double>(config.total_adders) * t2_s;
+    result.makespan_speedup =
+        result.makespan_s > 0.0 ? result.baseline_s / result.makespan_s
+                                : 0.0;
+
+    // Add-weighted mean speedup (the paper's Table-5 metric).
+    const double s1 =
+        t2_s / (t1_compute_s +
+                static_cast<double>(critical_qubits) * per_qubit_s /
+                    config.parallel_transfers);
+    const double qla_t2 =
+        static_cast<double>(timing.critical_path_steps) *
+        ecc::Code::steane().gateStepTime(2, params);
+    const double s2 = qla_t2 / t2_s;
+    const double f = config.level1_fraction;
+    result.mean_adder_speedup = f * s1 + (1.0 - f) * s2;
+
+    if (eq.executed() == 0)
+        qmh_panic("hierarchy sim executed no events");
+    result.events_executed = eq.executed();
+    const double channel_capacity_s =
+        result.makespan_s * config.parallel_transfers;
+    result.transfer_utilization =
+        channel_capacity_s > 0.0
+            ? units::ticksToSeconds(transfer_busy) / channel_capacity_s
+            : 0.0;
+    return result;
+}
+
+} // namespace cqla
+} // namespace qmh

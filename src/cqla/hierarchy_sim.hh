@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Event-driven simulation of the CQLA memory hierarchy.
+ *
+ * A stream of addition tasks (modular exponentiation at adder
+ * granularity) is dispatched to two execution regions: the level-2
+ * compute region and the level-1 cache + compute region behind the
+ * code-transfer network (a counted channel resource). Level-1 adds
+ * must first pull their immediate-dependence set through the transfer
+ * channels; bulk operands prefetch in the background.
+ *
+ * The simulator reports both the end-to-end makespan speedup and the
+ * add-weighted mean speedup (the paper's Table-5 "Adder SpeedUp"
+ * metric); EXPERIMENTS.md discusses the difference.
+ */
+
+#ifndef QMH_CQLA_HIERARCHY_SIM_HH
+#define QMH_CQLA_HIERARCHY_SIM_HH
+
+#include <cstdint>
+
+#include "ecc/code.hh"
+#include "iontrap/params.hh"
+
+namespace qmh {
+namespace cqla {
+
+/** Configuration of one hierarchy simulation. */
+struct HierarchySimConfig
+{
+    ecc::CodeKind code = ecc::CodeKind::Steane713;
+    int n_bits = 256;
+    unsigned parallel_transfers = 10;
+    unsigned blocks = 49;
+    std::uint64_t total_adders = 300;
+    /** Fraction of additions routed to level 1 (fidelity budget). */
+    double level1_fraction = 1.0 / 3.0;
+    /**
+     * Fraction of additions that depend on the immediately preceding
+     * addition (serial chains of the accumulator); the rest come from
+     * independent partial products and overlap freely across regions.
+     */
+    double chain_dependent_fraction = 0.0;
+};
+
+/** Measured outcomes. */
+struct HierarchySimResult
+{
+    double makespan_s = 0.0;
+    double baseline_s = 0.0;        ///< all additions at level 2
+    double makespan_speedup = 0.0;  ///< baseline / makespan
+    double mean_adder_speedup = 0.0;///< add-weighted mean (paper metric)
+    std::uint64_t level1_adds = 0;
+    std::uint64_t level2_adds = 0;
+    double transfer_utilization = 0.0;
+    std::uint64_t events_executed = 0;
+};
+
+/** Run the hierarchy simulation. */
+HierarchySimResult runHierarchySim(const HierarchySimConfig &config,
+                                   const iontrap::Params &params);
+
+} // namespace cqla
+} // namespace qmh
+
+#endif // QMH_CQLA_HIERARCHY_SIM_HH

@@ -1,0 +1,184 @@
+#include "code.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace qmh {
+namespace ecc {
+
+Code
+Code::steane()
+{
+    Code c;
+    c._kind = CodeKind::Steane713;
+    c._name = "Steane [[7,1,3]]";
+    c._short_name = "7";
+    c._n = 7;
+    c._k = 1;
+    c._d = 3;
+    // Paper Section 4.1: "the level 1 error correction circuit will
+    // take 154 cycles" per syndrome; with two syndromes and a 10 us
+    // cycle this reproduces the reported 3.1e-3 s level-1 EC latency.
+    c._l1_cycles_per_syndrome = 154;
+    // Fully serialized level-2 EC is "approximately 0.3 seconds", i.e.
+    // 97x the level-1 latency.
+    c._serialization_ratio = 0.3 / 3.08e-3;
+    // 490 ions x (50 um)^2 x 2.776 = 3.4 mm^2 (Table 2).
+    c._layout_factor = 2.776;
+    // Svore/Terhal/DiVincenzo local threshold with movement.
+    c._threshold = 7.5e-5;
+    c._overlap_channels = 1;
+    c._transfer_channel_cost = 1.0;
+    c._l1_ancilla = 21;   // 7 syndrome + 7 verify + 7 (second syndrome)
+    c._l2_ancilla = 441;  // Table 2
+    return c;
+}
+
+Code
+Code::baconShor()
+{
+    Code c;
+    c._kind = CodeKind::BaconShor913;
+    c._name = "Bacon-Shor [[9,1,3]]";
+    c._short_name = "9";
+    c._n = 9;
+    c._k = 1;
+    c._d = 3;
+    // Gauge-operator syndrome extraction needs only two-qubit ancilla
+    // states (no verified cat states): 60 cycles per syndrome
+    // reproduces the paper's 1.2e-3 s level-1 latency.
+    c._l1_cycles_per_syndrome = 60;
+    // Level-2 EC "0.1 seconds" => 83x level 1.
+    c._serialization_ratio = 0.1 / 1.2e-3;
+    // 379 ions x (50 um)^2 x 2.533 = 2.4 mm^2 (Table 2); the compact
+    // physical structure of the [[9,1,3]] layout packs tighter than
+    // Steane.
+    c._layout_factor = 2.533;
+    // Documented calibration; the paper says only "more favourable
+    // due to a higher threshold".
+    c._threshold = 1.5e-4;
+    c._overlap_channels = 3;
+    c._transfer_channel_cost = 2.0;
+    c._l1_ancilla = 12;
+    c._l2_ancilla = 298;  // Table 2
+    return c;
+}
+
+Code
+Code::byKind(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::Steane713:
+        return steane();
+      case CodeKind::BaconShor913:
+        return baconShor();
+    }
+    qmh_panic("unknown CodeKind");
+}
+
+std::int64_t
+Code::dataIons(Level level) const
+{
+    if (level < 0)
+        qmh_panic("negative concatenation level");
+    std::int64_t ions = 1;
+    for (Level l = 0; l < level; ++l)
+        ions *= _n;
+    return ions;
+}
+
+std::int64_t
+Code::ancillaIons(Level level) const
+{
+    if (level < 0)
+        qmh_panic("negative concatenation level");
+    if (level == 0)
+        return 0;
+    if (level == 1)
+        return _l1_ancilla;
+    if (level == 2)
+        return _l2_ancilla;
+    // Extrapolate with the observed level-1 -> level-2 growth.
+    const double growth =
+        static_cast<double>(_l2_ancilla) / static_cast<double>(_l1_ancilla);
+    double ions = static_cast<double>(_l2_ancilla);
+    for (Level l = 3; l <= level; ++l)
+        ions *= growth;
+    return static_cast<std::int64_t>(ions);
+}
+
+std::int64_t
+Code::totalIons(Level level) const
+{
+    return dataIons(level) + ancillaIons(level);
+}
+
+double
+Code::ionsPerDataQubit(Level level, double ancilla_ratio) const
+{
+    if (ancilla_ratio < 0.0)
+        qmh_panic("negative ancilla ratio");
+    // Standard provisioning carries two logical ancilla qubits per data
+    // qubit; scale that block linearly with the requested ratio.
+    const double standard_ratio = 2.0;
+    return static_cast<double>(dataIons(level)) +
+           static_cast<double>(ancillaIons(level)) *
+               (ancilla_ratio / standard_ratio);
+}
+
+int
+Code::level1EcCycles() const
+{
+    return _l1_cycles_per_syndrome * syndromesPerEc();
+}
+
+double
+Code::ecTime(Level level, const iontrap::Params &params) const
+{
+    if (level < 0)
+        qmh_panic("negative concatenation level");
+    if (level == 0)
+        return 0.0;
+    const double l1 =
+        level1EcCycles() * units::usToSeconds(params.cycle_us);
+    return l1 * std::pow(_serialization_ratio, level - 1);
+}
+
+double
+Code::gateStepTime(Level level, const iontrap::Params &params) const
+{
+    // Transversal physical gate: all n^(L-1) sub-gates fire in
+    // parallel, so the gate itself costs one double-gate latency plus
+    // local moves into/out of the shared trapping regions.
+    const double moves =
+        2.0 * params.opCycles(iontrap::PhysOp::Move) * params.cycle_us;
+    const double gate =
+        params.opCycles(iontrap::PhysOp::DoubleGate) * params.cycle_us;
+    return units::usToSeconds(moves + gate) + ecTime(level, params);
+}
+
+double
+Code::transversalGateTime(Level level, const iontrap::Params &params) const
+{
+    // Paper Table 2 metric: EC before + gate + EC after.
+    return ecTime(level, params) + gateStepTime(level, params);
+}
+
+double
+Code::toffoliTime(Level level, const iontrap::Params &params) const
+{
+    return toffoli_gate_steps * gateStepTime(level, params);
+}
+
+double
+Code::qubitAreaMm2(Level level, const iontrap::Params &params,
+                   double ancilla_ratio) const
+{
+    const double ions = ionsPerDataQubit(level, ancilla_ratio);
+    return units::um2ToMm2(ions * params.regionAreaUm2()) * _layout_factor;
+}
+
+} // namespace ecc
+} // namespace qmh

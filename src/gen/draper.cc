@@ -1,0 +1,273 @@
+#include "draper.hh"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace gen {
+
+using circuit::Program;
+using circuit::QubitId;
+
+namespace {
+
+int
+floorLog2(int v)
+{
+    int log = 0;
+    while (v >= 2) {
+        v >>= 1;
+        ++log;
+    }
+    return log;
+}
+
+/** Maps propagate-tree nodes P_t[m] (t >= 1) to ancilla indices. */
+class TreeIndexer
+{
+  public:
+    explicit TreeIndexer(int n) : _n(n)
+    {
+        _level_offset.push_back(0);  // t = 0 unused (lives in b)
+        int offset = 0;
+        for (int t = 1; (_n >> t) >= 1; ++t) {
+            _level_offset.push_back(offset);
+            offset += _n >> t;
+        }
+        _total = offset;
+    }
+
+    int total() const { return _total; }
+
+    int
+    index(int t, int m) const
+    {
+        if (t < 1 || t >= static_cast<int>(_level_offset.size()) ||
+            m < 0 || m >= (_n >> t))
+            qmh_panic("TreeIndexer: bad node (", t, ",", m, ") for n=",
+                      _n);
+        return _level_offset[static_cast<std::size_t>(t)] + m;
+    }
+
+  private:
+    int _n;
+    std::vector<int> _level_offset;
+    int _total = 0;
+};
+
+/**
+ * Emits the carry-network rounds of the adder. `width` may be smaller
+ * than the layout width during the carry-erasure phase.
+ */
+class CarryNetwork
+{
+  public:
+    CarryNetwork(Program &prog, const AdderLayout &layout,
+                 const TreeIndexer &tree, bool barriers)
+        : _prog(prog), _layout(layout), _tree(tree), _barriers(barriers)
+    {}
+
+    /** Close the current structural round. */
+    void
+    fence()
+    {
+        if (_barriers)
+            _prog.barrier();
+    }
+
+    /**
+     * Propagate-tree rounds: P_t[m] = P_{t-1}[2m] AND P_{t-1}[2m+1],
+     * with P_0[i] living in b_i. Reverse order inverts the rounds.
+     */
+    void
+    pRounds(int width, bool forward)
+    {
+        const int top = floorLog2(width);
+        for (int step = 0; step < top; ++step) {
+            const int t = forward ? step + 1 : top - step;
+            for (int m = 0; m < (width >> t); ++m)
+                _prog.toffoli(pNode(t - 1, 2 * m), pNode(t - 1, 2 * m + 1),
+                              treeQubit(t, m));
+            if ((width >> t) > 0)
+                fence();
+        }
+    }
+
+    /**
+     * Generate (up-sweep) rounds: merge aligned sibling blocks,
+     * G[hi] ^= P[hi] AND G[lo]. After round t, every aligned block of
+     * size 2^t carries its block-generate in its top carry qubit.
+     */
+    void
+    gRounds(int width, bool forward)
+    {
+        const int top = floorLog2(width);
+        for (int step = 0; step < top; ++step) {
+            const int t = forward ? step + 1 : top - step;
+            const int half = 1 << (t - 1);
+            const int full = 1 << t;
+            for (int m = 0; m < (width >> t); ++m)
+                _prog.toffoli(carryQubit(m * full + half - 1),
+                              pNode(t - 1, 2 * m + 1),
+                              carryQubit((m + 1) * full - 1));
+            if ((width >> t) > 0)
+                fence();
+        }
+    }
+
+    /**
+     * Carry (down-sweep) rounds: extend finalized prefixes across
+     * non-aligned block boundaries. After all rounds z_i holds the
+     * carry out of bits [0..i].
+     */
+    void
+    cRounds(int width, bool forward)
+    {
+        const int top = floorLog2(width);
+        for (int step = 0; step < top; ++step) {
+            const int t = forward ? top - step : step + 1;
+            const int half = 1 << (t - 1);
+            const int full = 1 << t;
+            const int m_max = (width - half) / full;
+            for (int m = 1; m <= m_max; ++m)
+                _prog.toffoli(carryQubit(m * full - 1), pNode(t - 1, 2 * m),
+                              carryQubit(m * full + half - 1));
+            if (m_max >= 1)
+                fence();
+        }
+    }
+
+    QubitId
+    aQubit(int i) const
+    {
+        return QubitId(static_cast<QubitId::rep_type>(_layout.a_offset + i));
+    }
+
+    QubitId
+    bQubit(int i) const
+    {
+        return QubitId(static_cast<QubitId::rep_type>(_layout.b_offset + i));
+    }
+
+    QubitId
+    carryQubit(int i) const
+    {
+        return QubitId(
+            static_cast<QubitId::rep_type>(_layout.carry_offset + i));
+    }
+
+    QubitId
+    treeQubit(int t, int m) const
+    {
+        return QubitId(static_cast<QubitId::rep_type>(
+            _layout.tree_offset + _tree.index(t, m)));
+    }
+
+    /** P_t[m]: level 0 lives in b (holding p), higher levels in tree. */
+    QubitId
+    pNode(int t, int m) const
+    {
+        return t == 0 ? bQubit(m) : treeQubit(t, m);
+    }
+
+  private:
+    Program &_prog;
+    const AdderLayout &_layout;
+    const TreeIndexer &_tree;
+    bool _barriers;
+};
+
+} // namespace
+
+int
+draperTreeSize(int n)
+{
+    int total = 0;
+    for (int t = 1; (n >> t) >= 1; ++t)
+        total += n >> t;
+    return total;
+}
+
+Program
+draperAdder(int n, bool keep_carry, AdderLayout *layout_out,
+            UncomputeMode mode, bool with_barriers)
+{
+    if (n < 1)
+        qmh_fatal("draperAdder: operand width must be >= 1, got ", n);
+
+    AdderLayout layout;
+    layout.bits = n;
+    layout.a_offset = 0;
+    layout.b_offset = n;
+    layout.carry_offset = 2 * n;
+    layout.tree_offset = 3 * n;
+    layout.tree_size = draperTreeSize(n);
+    layout.total_qubits = 3 * n + layout.tree_size;
+    layout.keeps_carry = keep_carry;
+
+    Program prog("draper-adder-" + std::to_string(n),
+                 layout.total_qubits);
+    TreeIndexer tree(n);
+    CarryNetwork net(prog, layout, tree, with_barriers);
+
+    // Phase 1: generate and propagate bits. z_i = a_i AND b_i,
+    // b_i = a_i XOR b_i.
+    for (int i = 0; i < n; ++i)
+        prog.toffoli(net.aQubit(i), net.bQubit(i), net.carryQubit(i));
+    net.fence();
+    for (int i = 0; i < n; ++i)
+        prog.cnot(net.aQubit(i), net.bQubit(i));
+    net.fence();
+
+    // Phase 2: carry computation (prefix tree), then return the
+    // propagate tree to zero.
+    net.pRounds(n, true);
+    net.gRounds(n, true);
+    net.cRounds(n, true);
+    net.pRounds(n, false);
+
+    // Phase 3: write the sum. s_0 = p_0; s_i = p_i XOR c_i.
+    for (int i = 1; i < n; ++i)
+        prog.cnot(net.carryQubit(i - 1), net.bQubit(i));
+    if (n > 1)
+        net.fence();
+
+    // Phase 4: erase carries with the complement trick. The carry
+    // string of (a, NOT s) equals the carry string of (a, b), so the
+    // inverse carry computation on the complemented sum zeroes z.
+    // Erasing w bits clears z_0..z_{w-1}; keeping the carry-out means
+    // leaving z_{n-1} alone.
+    const int w =
+        mode == UncomputeMode::CarriesLeftDirty ? 0 : (keep_carry ? n - 1
+                                                                  : n);
+    if (w > 0) {
+        for (int i = 0; i < w; ++i)
+            prog.x(net.bQubit(i));
+        net.fence();
+        for (int i = 0; i < w; ++i)
+            prog.cnot(net.aQubit(i), net.bQubit(i));
+        net.fence();
+        net.pRounds(w, true);
+        net.cRounds(w, false);
+        net.gRounds(w, false);
+        net.pRounds(w, false);
+        for (int i = 0; i < w; ++i)
+            prog.cnot(net.aQubit(i), net.bQubit(i));
+        net.fence();
+        for (int i = 0; i < w; ++i)
+            prog.toffoli(net.aQubit(i), net.bQubit(i),
+                         net.carryQubit(i));
+        net.fence();
+        for (int i = 0; i < w; ++i)
+            prog.x(net.bQubit(i));
+    }
+
+    if (layout_out)
+        *layout_out = layout;
+    return prog;
+}
+
+} // namespace gen
+} // namespace qmh

@@ -1,0 +1,82 @@
+#include "ripple.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace gen {
+
+using circuit::Program;
+using circuit::QubitId;
+
+namespace {
+
+QubitId
+q(int i)
+{
+    return QubitId(static_cast<QubitId::rep_type>(i));
+}
+
+} // namespace
+
+Program
+rippleAdder(int n, bool keep_carry, AdderLayout *layout_out)
+{
+    if (n < 1)
+        qmh_fatal("rippleAdder: operand width must be >= 1, got ", n);
+
+    AdderLayout layout;
+    layout.bits = n;
+    layout.a_offset = 0;
+    layout.b_offset = n;
+    layout.carry_offset = 2 * n;
+    layout.tree_offset = 3 * n;
+    layout.tree_size = 0;
+    layout.total_qubits = 3 * n;
+    layout.keeps_carry = keep_carry;
+
+    Program prog("ripple-adder-" + std::to_string(n),
+                 layout.total_qubits);
+    auto a = [&](int i) { return q(layout.a_offset + i); };
+    auto b = [&](int i) { return q(layout.b_offset + i); };
+    auto z = [&](int i) { return q(layout.carry_offset + i); };
+
+    // Forward carry chain: z_i accumulates the carry out of bits
+    // [0..i] (z_i = g_i XOR (p_i AND z_{i-1}); XOR equals OR because
+    // generate and propagate are exclusive).
+    for (int i = 0; i < n; ++i) {
+        prog.toffoli(a(i), b(i), z(i));
+        prog.cnot(a(i), b(i));
+        if (i >= 1)
+            prog.toffoli(z(i - 1), b(i), z(i));
+    }
+
+    // Sum: s_0 = p_0; s_i = p_i XOR c_i.
+    for (int i = 1; i < n; ++i)
+        prog.cnot(z(i - 1), b(i));
+
+    // Erase carries via the complement trick (see draperAdder).
+    const int w = keep_carry ? n - 1 : n;
+    if (w > 0) {
+        for (int i = 0; i < w; ++i)
+            prog.x(b(i));
+        for (int i = 0; i < w; ++i)
+            prog.cnot(a(i), b(i));
+        for (int i = w - 1; i >= 0; --i) {
+            if (i >= 1)
+                prog.toffoli(z(i - 1), b(i), z(i));
+            prog.cnot(a(i), b(i));
+            prog.toffoli(a(i), b(i), z(i));
+        }
+        for (int i = 0; i < w; ++i)
+            prog.x(b(i));
+    }
+
+    if (layout_out)
+        *layout_out = layout;
+    return prog;
+}
+
+} // namespace gen
+} // namespace qmh

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Vedral/Barenco/Ekert-style ripple-carry adder: the linear-depth
+ * baseline against which the logarithmic-depth Draper adder is
+ * compared. Same register convention as draperAdder (b <- a + b).
+ */
+
+#ifndef QMH_GEN_RIPPLE_HH
+#define QMH_GEN_RIPPLE_HH
+
+#include "circuit/program.hh"
+#include "draper.hh"
+
+namespace qmh {
+namespace gen {
+
+/**
+ * Build the n-bit in-place ripple-carry adder. The layout matches
+ * AdderLayout (tree_size is zero).
+ */
+circuit::Program rippleAdder(int n, bool keep_carry = true,
+                             AdderLayout *layout_out = nullptr);
+
+} // namespace gen
+} // namespace qmh
+
+#endif // QMH_GEN_RIPPLE_HH

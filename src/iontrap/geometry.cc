@@ -1,0 +1,86 @@
+#include "geometry.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace qmh {
+namespace iontrap {
+
+int
+manhattan(GridCoord a, GridCoord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+TrapGrid::TrapGrid(int width, int height, const Params &params)
+    : _width(width), _height(height), _params(params)
+{
+    if (width <= 0 || height <= 0)
+        qmh_fatal("TrapGrid dimensions must be positive: ", width, "x",
+                  height);
+}
+
+std::int64_t
+TrapGrid::regions() const
+{
+    return static_cast<std::int64_t>(_width) * _height;
+}
+
+bool
+TrapGrid::contains(GridCoord c) const
+{
+    return c.x >= 0 && c.x < _width && c.y >= 0 && c.y < _height;
+}
+
+double
+TrapGrid::areaMm2() const
+{
+    return units::um2ToMm2(static_cast<double>(regions()) *
+                           _params.regionAreaUm2());
+}
+
+double
+TrapGrid::widthUm() const
+{
+    return _width * _params.regionDimUm();
+}
+
+double
+TrapGrid::heightUm() const
+{
+    return _height * _params.regionDimUm();
+}
+
+int
+TrapGrid::moveLatencyCycles(GridCoord from, GridCoord to) const
+{
+    if (!contains(from) || !contains(to))
+        qmh_panic("moveLatencyCycles: coordinate outside grid");
+    const int hops = manhattan(from, to);
+    if (hops == 0)
+        return 0;
+    return _params.opCycles(PhysOp::Split) +
+           hops * _params.opCycles(PhysOp::Move) +
+           _params.opCycles(PhysOp::Cooling);
+}
+
+double
+TrapGrid::moveLatencyUs(GridCoord from, GridCoord to) const
+{
+    return moveLatencyCycles(from, to) * _params.cycle_us;
+}
+
+double
+TrapGrid::moveFailure(GridCoord from, GridCoord to) const
+{
+    const int hops = manhattan(from, to);
+    // 1 - (1-p)^hops, computed stably for small p.
+    const double p = _params.moveFailurePerRegion();
+    return -std::expm1(static_cast<double>(hops) * std::log1p(-p));
+}
+
+} // namespace iontrap
+} // namespace qmh

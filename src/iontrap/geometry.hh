@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Abstraction of the planar ion-trap layout (paper Fig. 1(b)): a grid
+ * of trapping regions joined by shared crossing junctions. Provides the
+ * movement-latency and area primitives the tile and interconnect models
+ * are built on.
+ */
+
+#ifndef QMH_IONTRAP_GEOMETRY_HH
+#define QMH_IONTRAP_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "params.hh"
+
+namespace qmh {
+namespace iontrap {
+
+/** Integer coordinate of a trapping region in the grid. */
+struct GridCoord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const GridCoord &) const = default;
+};
+
+/** Manhattan distance in trapping regions. */
+int manhattan(GridCoord a, GridCoord b);
+
+/**
+ * A rectangular field of trapping regions. The grid is purely
+ * geometric: occupancy/routing policy lives with the callers.
+ */
+class TrapGrid
+{
+  public:
+    TrapGrid(int width, int height, const Params &params);
+
+    int width() const { return _width; }
+    int height() const { return _height; }
+    std::int64_t regions() const;
+
+    /** True if @p c lies inside the grid. */
+    bool contains(GridCoord c) const;
+
+    /** Physical area of the whole grid in mm^2. */
+    double areaMm2() const;
+
+    /** Side lengths of the grid in micrometres. */
+    double widthUm() const;
+    double heightUm() const;
+
+    /**
+     * Latency, in fundamental cycles, to ballistically shuttle an ion
+     * between two regions: one split, one move per region traversed,
+     * and one cooling step at the destination.
+     */
+    int moveLatencyCycles(GridCoord from, GridCoord to) const;
+
+    /** Same, in microseconds. */
+    double moveLatencyUs(GridCoord from, GridCoord to) const;
+
+    /**
+     * Accumulated movement failure probability along the path
+     * (per-region failure x regions traversed).
+     */
+    double moveFailure(GridCoord from, GridCoord to) const;
+
+    const Params &params() const { return _params; }
+
+  private:
+    int _width;
+    int _height;
+    Params _params;
+};
+
+} // namespace iontrap
+} // namespace qmh
+
+#endif // QMH_IONTRAP_GEOMETRY_HH

@@ -1,0 +1,130 @@
+#include "params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace iontrap {
+
+const char *
+physOpName(PhysOp op)
+{
+    switch (op) {
+      case PhysOp::SingleGate: return "single_gate";
+      case PhysOp::DoubleGate: return "double_gate";
+      case PhysOp::Measure:    return "measure";
+      case PhysOp::Move:       return "move";
+      case PhysOp::Split:      return "split";
+      case PhysOp::Cooling:    return "cooling";
+    }
+    qmh_panic("unknown PhysOp");
+}
+
+double
+Params::opTimeUs(PhysOp op) const
+{
+    switch (op) {
+      case PhysOp::SingleGate: return single_gate_us;
+      case PhysOp::DoubleGate: return double_gate_us;
+      case PhysOp::Measure:    return measure_us;
+      case PhysOp::Move:       return move_us;
+      case PhysOp::Split:      return split_us;
+      case PhysOp::Cooling:    return cooling_us;
+    }
+    qmh_panic("unknown PhysOp");
+}
+
+double
+Params::opFailure(PhysOp op) const
+{
+    switch (op) {
+      case PhysOp::SingleGate: return single_gate_fail;
+      case PhysOp::DoubleGate: return double_gate_fail;
+      case PhysOp::Measure:    return measure_fail;
+      case PhysOp::Move:       return moveFailurePerRegion();
+      case PhysOp::Split:      return 0.0;
+      case PhysOp::Cooling:    return 0.0;
+    }
+    qmh_panic("unknown PhysOp");
+}
+
+int
+Params::opCycles(PhysOp op) const
+{
+    const double cycles = opTimeUs(op) / cycle_us;
+    const int whole = static_cast<int>(std::ceil(cycles - 1e-9));
+    return whole < 1 ? 1 : whole;
+}
+
+double
+Params::regionDimUm() const
+{
+    return trap_size_um * electrodes_per_region;
+}
+
+double
+Params::regionAreaUm2() const
+{
+    return regionDimUm() * regionDimUm();
+}
+
+double
+Params::moveFailurePerRegion() const
+{
+    return move_fail_per_um * regionDimUm();
+}
+
+double
+Params::averageFailure() const
+{
+    return (single_gate_fail + double_gate_fail + measure_fail +
+            move_fail_per_um) / 4.0;
+}
+
+Params
+Params::now()
+{
+    Params p;
+    p.name = "now";
+    p.single_gate_us = 1.0;
+    p.double_gate_us = 10.0;
+    p.measure_us = 200.0;
+    p.move_us = 20.0;
+    p.split_us = 200.0;
+    p.cooling_us = 200.0;
+    p.single_gate_fail = 1e-4;
+    p.double_gate_fail = 0.03;
+    p.measure_fail = 0.01;
+    p.move_fail_per_um = 0.005;
+    p.memory_time_s = 10.0;
+    p.trap_size_um = 200.0;
+    p.electrodes_per_region = 10;
+    p.cycle_us = 10.0;
+    return p;
+}
+
+Params
+Params::future()
+{
+    Params p;
+    p.name = "future";
+    p.single_gate_us = 1.0;
+    p.double_gate_us = 10.0;
+    p.measure_us = 10.0;
+    p.move_us = 10.0;
+    p.split_us = 0.1;
+    p.cooling_us = 0.1;
+    p.single_gate_fail = 1e-8;
+    p.double_gate_fail = 1e-7;
+    p.measure_fail = 1e-8;
+    p.move_fail_per_um = 5e-8;
+    p.memory_time_s = 100.0;
+    p.trap_size_um = 5.0;
+    p.electrodes_per_region = 10;
+    p.cycle_us = 10.0;
+    return p;
+}
+
+} // namespace iontrap
+} // namespace qmh

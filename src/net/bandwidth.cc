@@ -1,0 +1,65 @@
+#include "bandwidth.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace net {
+
+BandwidthModel::BandwidthModel(const ecc::Code &code, ecc::Level level,
+                               const iontrap::Params &params)
+    : _code(code), _level(level), _params(params)
+{
+    if (level < 1)
+        qmh_fatal("BandwidthModel: level must be >= 1");
+}
+
+double
+BandwidthModel::gateStepTime() const
+{
+    return _code.gateStepTime(_level, _params);
+}
+
+double
+BandwidthModel::availablePerSuperblock(double blocks) const
+{
+    if (blocks <= 0.0)
+        return 0.0;
+    const double perimeter_channels =
+        4.0 * std::sqrt(blocks) * channels_per_edge;
+    const double per_channel_rate =
+        1.0 / (channel_service_steps * gateStepTime());
+    return perimeter_channels * per_channel_rate;
+}
+
+double
+BandwidthModel::requiredDraper(double blocks, double utilization) const
+{
+    const double per_block_rate =
+        draper_qubits_per_toffoli / (toffoli_steps * gateStepTime());
+    return blocks * utilization * per_block_rate;
+}
+
+double
+BandwidthModel::requiredWorstCase(double blocks) const
+{
+    const double per_block_rate =
+        worst_case_qubits_per_toffoli / (toffoli_steps * gateStepTime());
+    return blocks * per_block_rate;
+}
+
+unsigned
+BandwidthModel::crossoverBlocks(unsigned max_blocks,
+                                double utilization) const
+{
+    for (unsigned b = 1; b <= max_blocks; ++b) {
+        if (requiredDraper(b, utilization) >
+            availablePerSuperblock(b))
+            return b;
+    }
+    return max_blocks;
+}
+
+} // namespace net
+} // namespace qmh

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Superblock perimeter-bandwidth model (paper Section 5.1, Fig. 6b).
+ *
+ * Compute blocks are grouped into square superblocks. Data enters and
+ * leaves across the perimeter teleportation channels, so available
+ * bandwidth grows with sqrt(B) while demand grows with B: past a
+ * crossover size it no longer pays to grow a superblock. The paper
+ * finds the crossover at 36 blocks regardless of the error-correcting
+ * code; in this model both demand and supply scale inversely with the
+ * logical gate-step, so the crossover is code-independent by
+ * construction.
+ */
+
+#ifndef QMH_NET_BANDWIDTH_HH
+#define QMH_NET_BANDWIDTH_HH
+
+#include "ecc/code.hh"
+#include "iontrap/params.hh"
+
+namespace qmh {
+namespace net {
+
+/** Perimeter-bandwidth supply/demand model for compute superblocks. */
+class BandwidthModel
+{
+  public:
+    BandwidthModel(const ecc::Code &code, ecc::Level level,
+                   const iontrap::Params &params);
+
+    /**
+     * Qubits per second deliverable across the perimeter of a
+     * superblock of @p blocks compute blocks:
+     * 4*sqrt(B) block edges x channels_per_edge, each serving one
+     * logical qubit every channel_service_steps gate-steps.
+     */
+    double availablePerSuperblock(double blocks) const;
+
+    /**
+     * Qubits per second demanded by modular exponentiation (the Draper
+     * adder): every busy block consumes and produces
+     * draper_qubits_per_toffoli operands per Toffoli slot.
+     * @p utilization is the fraction of busy blocks (1.0 when the
+     * schedule is work-bound).
+     */
+    double requiredDraper(double blocks, double utilization = 1.0) const;
+
+    /**
+     * Worst-case demand: all nine qubits a fault-tolerant Toffoli
+     * touches (three data plus ancilla and cat-state qubits) are
+     * remote every slot.
+     */
+    double requiredWorstCase(double blocks) const;
+
+    /**
+     * Smallest superblock size at which Draper demand exceeds supply
+     * (the optimal superblock size; paper: 36).
+     */
+    unsigned crossoverBlocks(unsigned max_blocks = 4096,
+                             double utilization = 1.0) const;
+
+    /** Seconds per logical gate-step at this (code, level). */
+    double gateStepTime() const;
+
+    /** Teleportation channels per compute-block edge (paper: 2). */
+    static constexpr double channels_per_edge = 2.0;
+
+    /**
+     * Gate-steps of channel occupancy per transferred logical qubit
+     * (pipeline fill, landing error correction and hand-off).
+     * Calibrated so the Draper crossover lands at 36 blocks.
+     */
+    static constexpr double channel_service_steps = 10.0 / 3.0;
+
+    /** Operand traffic per busy block per Toffoli slot (3 in, 3 out). */
+    static constexpr double draper_qubits_per_toffoli = 6.0;
+
+    /** Worst-case traffic per block per Toffoli slot. */
+    static constexpr double worst_case_qubits_per_toffoli = 9.0;
+
+    /** Gate-steps per Toffoli slot. */
+    static constexpr double toffoli_steps = 15.0;
+
+  private:
+    ecc::Code _code;
+    ecc::Level _level;
+    iontrap::Params _params;
+};
+
+} // namespace net
+} // namespace qmh
+
+#endif // QMH_NET_BANDWIDTH_HH

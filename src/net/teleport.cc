@@ -1,0 +1,45 @@
+#include "teleport.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace qmh {
+namespace net {
+
+TeleportModel::TeleportModel(const ecc::Code &code, ecc::Level level,
+                             const iontrap::Params &params)
+    : _code(code), _level(level), _params(params)
+{
+    if (level < 1)
+        qmh_fatal("TeleportModel: level must be >= 1");
+}
+
+double
+TeleportModel::transportTime() const
+{
+    const double ion_cycles =
+        cycles_per_data_ion *
+        static_cast<double>(_code.teleportIons(_level));
+    const double bell_cycles =
+        _params.opCycles(iontrap::PhysOp::DoubleGate) +
+        _params.opCycles(iontrap::PhysOp::Measure);
+    const double total_cycles =
+        epr_setup_cycles + ion_cycles + bell_cycles;
+    return units::usToSeconds(total_cycles * _params.cycle_us);
+}
+
+double
+TeleportModel::teleportTime() const
+{
+    // The arrival error correction dominates at any realistic level.
+    return transportTime() + _code.ecTime(_level, _params);
+}
+
+double
+TeleportModel::channelRate() const
+{
+    return 1.0 / teleportTime();
+}
+
+} // namespace net
+} // namespace qmh

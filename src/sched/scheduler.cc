@@ -1,0 +1,326 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace sched {
+
+namespace {
+
+/** Ready-queue entry ordered by critical-path priority, then index. */
+struct ReadyEntry
+{
+    std::uint64_t priority;
+    std::uint32_t index;
+
+    bool
+    operator<(const ReadyEntry &other) const
+    {
+        // std::priority_queue is a max-heap; higher priority first,
+        // ties broken toward program order for determinism.
+        if (priority != other.priority)
+            return priority < other.priority;
+        return index > other.index;
+    }
+};
+
+/** Completion-queue entry ordered by finish time. */
+struct FinishEntry
+{
+    std::uint64_t finish;
+    std::uint32_t index;
+    std::uint32_t block;
+
+    bool
+    operator>(const FinishEntry &other) const
+    {
+        if (finish != other.finish)
+            return finish > other.finish;
+        return index > other.index;
+    }
+};
+
+} // namespace
+
+std::vector<std::uint32_t>
+ScheduleResult::inFlightProfile() const
+{
+    std::vector<std::int64_t> delta(makespan + 1, 0);
+    for (std::size_t i = 0; i < start.size(); ++i) {
+        delta[start[i]] += 1;
+        delta[start[i] + _latency[i]] -= 1;
+    }
+    std::vector<std::uint32_t> profile(makespan, 0);
+    std::int64_t current = 0;
+    for (std::uint64_t t = 0; t < makespan; ++t) {
+        current += delta[t];
+        profile[t] = static_cast<std::uint32_t>(current);
+    }
+    return profile;
+}
+
+std::vector<double>
+ScheduleResult::windowedProfile(std::uint64_t window) const
+{
+    if (window == 0)
+        qmh_panic("windowedProfile: zero window");
+    const auto profile = inFlightProfile();
+    std::vector<double> out;
+    for (std::uint64_t base = 0; base < profile.size(); base += window) {
+        const auto end = std::min<std::uint64_t>(base + window,
+                                                 profile.size());
+        double sum = 0.0;
+        for (std::uint64_t t = base; t < end; ++t)
+            sum += profile[t];
+        out.push_back(sum / static_cast<double>(end - base));
+    }
+    return out;
+}
+
+std::uint32_t
+ScheduleResult::peakParallelism() const
+{
+    std::uint32_t peak = 0;
+    for (const auto v : inFlightProfile())
+        peak = std::max(peak, v);
+    return peak;
+}
+
+double
+ScheduleResult::utilization() const
+{
+    const unsigned blocks =
+        blocks_requested == unlimited_blocks ? blocks_used
+                                             : blocks_requested;
+    if (blocks == 0 || makespan == 0)
+        return 0.0;
+    return static_cast<double>(busy_block_steps) /
+           (static_cast<double>(blocks) * static_cast<double>(makespan));
+}
+
+ScheduleResult
+listSchedule(const circuit::Program &program,
+             const circuit::DependencyGraph &dag,
+             const LatencyModel &latency, unsigned blocks)
+{
+    const auto &insts = program.instructions();
+    const auto m = static_cast<std::uint32_t>(insts.size());
+
+    ScheduleResult result;
+    result.blocks_requested = blocks;
+    result.start.assign(m, 0);
+    result.block.assign(m, 0);
+    result._latency.resize(m);
+    for (std::uint32_t i = 0; i < m; ++i) {
+        result._latency[i] = latency.steps(insts[i].kind);
+        result.busy_block_steps += result._latency[i];
+    }
+    if (m == 0)
+        return result;
+
+    // Critical-path priority: longest weighted path to any sink.
+    std::vector<std::uint64_t> priority(m, 0);
+    for (std::uint32_t i = m; i-- > 0;) {
+        std::uint64_t best = 0;
+        for (const auto s : dag.successors(i))
+            best = std::max(best, priority[s]);
+        priority[i] = best + result._latency[i];
+    }
+
+    std::vector<int> remaining(m);
+    std::priority_queue<ReadyEntry> ready;
+    for (std::uint32_t i = 0; i < m; ++i) {
+        remaining[i] = dag.inDegree(i);
+        if (remaining[i] == 0)
+            ready.push({priority[i], i});
+    }
+
+    std::priority_queue<FinishEntry, std::vector<FinishEntry>,
+                        std::greater<>> running;
+    // Free block ids, smallest first so assignments are deterministic
+    // and dense.
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<>> free_blocks;
+    const bool capped = blocks != unlimited_blocks;
+    unsigned next_fresh_block = 0;
+    if (capped)
+        for (std::uint32_t b = 0; b < blocks; ++b)
+            free_blocks.push(b);
+
+    std::uint64_t now = 0;
+    std::uint32_t scheduled = 0;
+    unsigned peak_blocks = 0;
+
+    while (scheduled < m) {
+        // Issue every ready gate a free block can take.
+        while (!ready.empty() &&
+               (!capped || !free_blocks.empty())) {
+            const auto entry = ready.top();
+            ready.pop();
+            std::uint32_t block_id;
+            if (capped) {
+                block_id = free_blocks.top();
+                free_blocks.pop();
+            } else if (!free_blocks.empty()) {
+                block_id = free_blocks.top();
+                free_blocks.pop();
+            } else {
+                block_id = next_fresh_block++;
+            }
+            result.start[entry.index] = now;
+            result.block[entry.index] = block_id;
+            running.push({now + result._latency[entry.index], entry.index,
+                          block_id});
+            peak_blocks = std::max<unsigned>(
+                peak_blocks, static_cast<unsigned>(running.size()));
+            ++scheduled;
+        }
+
+        if (running.empty()) {
+            if (scheduled < m)
+                qmh_panic("scheduler deadlock: ", m - scheduled,
+                          " gates unscheduled (cyclic DAG?)");
+            break;
+        }
+
+        // Advance to the next completion time and retire everything
+        // finishing then.
+        now = running.top().finish;
+        while (!running.empty() && running.top().finish == now) {
+            const auto done = running.top();
+            running.pop();
+            free_blocks.push(done.block);
+            for (const auto s : dag.successors(done.index)) {
+                if (--remaining[s] == 0)
+                    ready.push({priority[s], s});
+            }
+        }
+    }
+
+    // Drain: makespan is the last completion.
+    result.makespan = now;
+    while (!running.empty()) {
+        result.makespan = std::max(result.makespan, running.top().finish);
+        running.pop();
+    }
+    result.blocks_used =
+        capped ? blocks : std::max(peak_blocks, next_fresh_block);
+    return result;
+}
+
+ScheduleResult
+listSchedule(const circuit::Program &program, const LatencyModel &latency,
+             unsigned blocks)
+{
+    circuit::DependencyGraph dag(program);
+    return listSchedule(program, dag, latency, blocks);
+}
+
+ScheduleResult
+roundSchedule(const circuit::Program &program,
+              const circuit::DependencyGraph &dag,
+              const LatencyModel &latency, unsigned blocks)
+{
+    const auto &insts = program.instructions();
+    const auto m = static_cast<std::uint32_t>(insts.size());
+
+    ScheduleResult result;
+    result.blocks_requested = blocks;
+    result.start.assign(m, 0);
+    result.block.assign(m, 0);
+    result._latency.resize(m);
+    for (std::uint32_t i = 0; i < m; ++i) {
+        result._latency[i] = latency.steps(insts[i].kind);
+        result.busy_block_steps += result._latency[i];
+    }
+    if (m == 0)
+        return result;
+
+    // Program-order round formation: an instruction joins the open
+    // round unless one of its qubits was already touched in it (the
+    // static compiler issues the algorithm's structural rounds as
+    // written; it does not reorder across phases the way ASAP
+    // levelling would).
+    std::vector<std::vector<std::uint32_t>> rounds;
+    {
+        std::vector<std::int64_t> qubit_round(
+            static_cast<std::size_t>(program.qubitCount()), -1);
+        std::int64_t current = -1;
+        for (std::uint32_t i = 0; i < m; ++i) {
+            // An explicit barrier always opens a fresh round;
+            // subsequent instructions fall into that round.
+            bool conflict = current < 0 ||
+                            insts[i].kind == circuit::GateKind::Barrier;
+            for (const auto &q : insts[i].operands())
+                conflict |= qubit_round[q.value()] == current;
+            if (conflict) {
+                ++current;
+                rounds.emplace_back();
+            }
+            rounds.back().push_back(i);
+            for (const auto &q : insts[i].operands())
+                qubit_round[q.value()] = current;
+        }
+    }
+    (void)dag;
+
+    const bool capped = blocks != unlimited_blocks;
+    std::uint64_t now = 0;
+    unsigned widest_round = 0;
+
+    for (const auto &round : rounds) {
+        // The round's slot latency is its slowest gate (every gate is
+        // followed by error correction before the barrier lifts).
+        std::uint32_t slot = 0;
+        for (const auto i : round)
+            slot = std::max(slot, result._latency[i]);
+
+        // Zero-latency instructions (barriers) pin to the round start
+        // and do not consume block slots.
+        unsigned count = 0;
+        for (const auto i : round)
+            count += result._latency[i] > 0 ? 1 : 0;
+        widest_round = std::max(widest_round, count);
+        const unsigned per_batch =
+            capped ? blocks : std::max(1u, count);
+        unsigned in_batch = 0;
+        std::uint64_t batch_start = now;
+        for (const auto i : round) {
+            if (result._latency[i] == 0) {
+                result.start[i] = now;
+                result.block[i] = 0;
+                continue;
+            }
+            if (in_batch == per_batch) {
+                in_batch = 0;
+                batch_start += slot;
+            }
+            result.start[i] = batch_start;
+            result.block[i] = in_batch;
+            ++in_batch;
+        }
+        const auto batches =
+            std::max<unsigned>(1, (count + per_batch - 1) /
+                                      std::max(1u, per_batch));
+        now += count == 0 ? 0
+                          : static_cast<std::uint64_t>(batches) * slot;
+    }
+
+    result.makespan = now;
+    result.blocks_used = capped ? blocks : widest_round;
+    return result;
+}
+
+ScheduleResult
+roundSchedule(const circuit::Program &program, const LatencyModel &latency,
+              unsigned blocks)
+{
+    circuit::DependencyGraph dag(program);
+    return roundSchedule(program, dag, latency, blocks);
+}
+
+} // namespace sched
+} // namespace qmh

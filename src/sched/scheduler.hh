@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Resource-constrained list scheduler.
+ *
+ * Maps a logical program onto B compute blocks (paper: one Toffoli, or
+ * one cheaper gate, in flight per block). Critical-path priority with
+ * event-driven issue. B = 0 means unlimited resources — the QLA
+ * "sea-of-qubits" baseline where computation may happen anywhere.
+ *
+ * Produces everything the evaluation needs: makespan, per-gate start
+ * times and block assignments, the gates-in-flight profile (paper
+ * Fig. 2), and block utilization (paper Fig. 6a).
+ */
+
+#ifndef QMH_SCHED_SCHEDULER_HH
+#define QMH_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/dag.hh"
+#include "circuit/program.hh"
+#include "latency.hh"
+
+namespace qmh {
+namespace sched {
+
+/** Unlimited-resources marker for listSchedule(). */
+constexpr unsigned unlimited_blocks = 0;
+
+/** A computed schedule. */
+struct ScheduleResult
+{
+    /** Total schedule length in gate-steps. */
+    std::uint64_t makespan = 0;
+
+    /** Issue time of each instruction, in gate-steps. */
+    std::vector<std::uint64_t> start;
+
+    /** Block each instruction ran on (0-based; unlimited mode packs). */
+    std::vector<std::uint32_t> block;
+
+    /** Sum over gates of their latency (block-steps of real work). */
+    std::uint64_t busy_block_steps = 0;
+
+    /** Number of blocks used (for unlimited mode: peak concurrency). */
+    unsigned blocks_used = 0;
+
+    /** Requested block count (0 = unlimited). */
+    unsigned blocks_requested = 0;
+
+    /**
+     * Gates in flight at each gate-step (size = makespan). This is the
+     * parallelism profile of Fig. 2.
+     */
+    std::vector<std::uint32_t> inFlightProfile() const;
+
+    /**
+     * The same profile aggregated into windows of @p window steps
+     * (mean gates in flight), matching the paper's Toffoli-slot axis.
+     */
+    std::vector<double> windowedProfile(std::uint64_t window) const;
+
+    /** Peak of inFlightProfile(). */
+    std::uint32_t peakParallelism() const;
+
+    /**
+     * Fraction of block-steps doing real work:
+     * busy / (blocks * makespan). Uses blocks_used when the schedule
+     * was unlimited.
+     */
+    double utilization() const;
+
+  private:
+    friend ScheduleResult listSchedule(const circuit::Program &,
+                                       const circuit::DependencyGraph &,
+                                       const LatencyModel &, unsigned);
+    friend ScheduleResult roundSchedule(const circuit::Program &,
+                                        const circuit::DependencyGraph &,
+                                        const LatencyModel &, unsigned);
+    std::vector<std::uint32_t> _latency;  // per-gate, for profiles
+};
+
+/**
+ * Schedule @p program onto @p blocks compute blocks
+ * (unlimited_blocks = no resource constraint).
+ */
+ScheduleResult listSchedule(const circuit::Program &program,
+                            const circuit::DependencyGraph &dag,
+                            const LatencyModel &latency,
+                            unsigned blocks);
+
+/** Convenience overload building the DAG internally. */
+ScheduleResult listSchedule(const circuit::Program &program,
+                            const LatencyModel &latency,
+                            unsigned blocks);
+
+/**
+ * Round-synchronous schedule: instructions issue in the program's
+ * structural rounds (program-order round formation — an instruction
+ * joins the open round unless it conflicts with it) with a barrier
+ * between rounds: every logical gate is followed by error correction
+ * and operand routing, so rounds do not overlap. A round with more
+ * gates than blocks issues in ceil(count / blocks) batches.
+ *
+ * The unlimited-resources makespan of this schedule is the
+ * round-structural critical path the paper's QLA baseline executes
+ * (Fig. 2's ~20-25 Toffoli slots for the 64-bit adder);
+ * listSchedule() is the more aggressive overlapped mode used for
+ * ablation studies.
+ */
+ScheduleResult roundSchedule(const circuit::Program &program,
+                             const circuit::DependencyGraph &dag,
+                             const LatencyModel &latency,
+                             unsigned blocks);
+
+/** Convenience overload building the DAG internally. */
+ScheduleResult roundSchedule(const circuit::Program &program,
+                             const LatencyModel &latency,
+                             unsigned blocks);
+
+} // namespace sched
+} // namespace qmh
+
+#endif // QMH_SCHED_SCHEDULER_HH

@@ -1,0 +1,46 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace sim {
+
+std::uint64_t
+EventQueue::schedule(Tick when, Handler fn, Priority prio)
+{
+    if (when < _now)
+        qmh_panic("scheduling event in the past: when=", when,
+                  " now=", _now);
+    if (!fn)
+        qmh_panic("scheduling empty handler");
+    const auto seq = _next_seq++;
+    _events.push(Entry{when, static_cast<int>(prio), seq, std::move(fn)});
+    return seq;
+}
+
+bool
+EventQueue::step()
+{
+    if (_events.empty())
+        return false;
+    // Copy out before pop so the handler can schedule new events.
+    Entry entry = _events.top();
+    _events.pop();
+    _now = entry.when;
+    ++_executed;
+    entry.fn();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick limit)
+{
+    while (!_events.empty() && _events.top().when <= limit)
+        step();
+    if (_now < limit && limit != max_tick)
+        _now = limit;
+    return _now;
+}
+
+} // namespace sim
+} // namespace qmh

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The queue dispatches callables in (tick, priority, insertion-order)
+ * order. Components schedule lambdas; there is deliberately no global
+ * singleton queue — every simulation owns its own EventQueue so tests
+ * and benches can run many independent simulations in one process.
+ */
+
+#ifndef QMH_SIM_EVENT_QUEUE_HH
+#define QMH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace qmh {
+namespace sim {
+
+/** Dispatch priority for events scheduled at the same tick. */
+enum class Priority : int {
+    Stat = -10,    ///< sampled before any same-tick state change
+    Default = 0,
+    Late = 10      ///< runs after all Default events of the tick
+};
+
+/**
+ * Time-ordered event queue. Events may schedule further events while
+ * executing (including at the current tick).
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now()).
+     * @return a monotonically increasing sequence id (for debugging).
+     */
+    std::uint64_t schedule(Tick when, Handler fn,
+                           Priority prio = Priority::Default);
+
+    /** Schedule @p fn @p delay ticks after now(). */
+    std::uint64_t
+    scheduleAfter(Tick delay, Handler fn,
+                  Priority prio = Priority::Default)
+    {
+        return schedule(_now + delay, std::move(fn), prio);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _events.size(); }
+
+    /** Execute the single next event; returns false if none remain. */
+    bool step();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p limit. Returns the final simulation time.
+     */
+    Tick run(Tick limit = max_tick);
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return _executed; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    Tick _now = 0;
+    std::uint64_t _next_seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace sim
+} // namespace qmh
+
+#endif // QMH_SIM_EVENT_QUEUE_HH

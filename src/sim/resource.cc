@@ -1,0 +1,52 @@
+#include "resource.hh"
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace sim {
+
+Resource::Resource(EventQueue &eq, std::string name, unsigned capacity)
+    : _eq(eq), _name(std::move(name)), _capacity(capacity)
+{
+    if (capacity == 0)
+        qmh_fatal("resource '", _name, "' must have nonzero capacity");
+}
+
+void
+Resource::acquire(Grant on_grant)
+{
+    if (!on_grant)
+        qmh_panic("resource '", _name, "': empty grant callback");
+    if (_in_use < _capacity) {
+        ++_in_use;
+        grantOne(std::move(on_grant));
+    } else {
+        _waiters.push_back(std::move(on_grant));
+    }
+}
+
+void
+Resource::release()
+{
+    if (_in_use == 0)
+        qmh_panic("resource '", _name, "': release without acquire");
+    if (!_waiters.empty()) {
+        // Hand the unit straight to the oldest waiter; _in_use is
+        // unchanged because ownership transfers.
+        Grant next = std::move(_waiters.front());
+        _waiters.pop_front();
+        grantOne(std::move(next));
+    } else {
+        --_in_use;
+    }
+}
+
+void
+Resource::grantOne(Grant fn)
+{
+    ++_grants;
+    _eq.scheduleAfter(0, std::move(fn), Priority::Default);
+}
+
+} // namespace sim
+} // namespace qmh

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Counted resource with FIFO waiters, for modeling limited facilities
+ * (transfer-network channels, compute blocks) in the event-driven
+ * hierarchy simulation.
+ */
+
+#ifndef QMH_SIM_RESOURCE_HH
+#define QMH_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "event_queue.hh"
+
+namespace qmh {
+namespace sim {
+
+/**
+ * A pool of @p capacity identical units. Clients request a unit and are
+ * called back (immediately if one is free, otherwise in FIFO order when
+ * a unit is released). Grants happen through the event queue so that
+ * callbacks never run re-entrantly inside release().
+ */
+class Resource
+{
+  public:
+    using Grant = std::function<void()>;
+
+    Resource(EventQueue &eq, std::string name, unsigned capacity);
+
+    /** Request one unit; @p on_grant runs when it is allocated. */
+    void acquire(Grant on_grant);
+
+    /** Return one unit to the pool. */
+    void release();
+
+    unsigned capacity() const { return _capacity; }
+    unsigned inUse() const { return _in_use; }
+    std::size_t waiting() const { return _waiters.size(); }
+    const std::string &name() const { return _name; }
+
+    /** Total grants handed out (for utilization accounting). */
+    std::uint64_t grants() const { return _grants; }
+
+  private:
+    void grantOne(Grant fn);
+
+    EventQueue &_eq;
+    std::string _name;
+    unsigned _capacity;
+    unsigned _in_use = 0;
+    std::deque<Grant> _waiters;
+    std::uint64_t _grants = 0;
+};
+
+} // namespace sim
+} // namespace qmh
+
+#endif // QMH_SIM_RESOURCE_HH

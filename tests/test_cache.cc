@@ -1,0 +1,167 @@
+/** @file Quantum cache simulator tests (paper Fig. 7). */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.hh"
+#include "gen/draper.hh"
+
+namespace qmh {
+namespace cache {
+namespace {
+
+using circuit::Program;
+using circuit::QubitId;
+
+TEST(QubitCache, LruEviction)
+{
+    QubitCache c(2);
+    EXPECT_FALSE(c.touch(QubitId(0)));
+    EXPECT_FALSE(c.touch(QubitId(1)));
+    EXPECT_TRUE(c.touch(QubitId(0)));   // refresh 0: LRU is now 1
+    EXPECT_FALSE(c.touch(QubitId(2)));  // evicts 1
+    EXPECT_TRUE(c.contains(QubitId(0)));
+    EXPECT_FALSE(c.contains(QubitId(1)));
+    EXPECT_TRUE(c.contains(QubitId(2)));
+    EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(QubitCache, CapacityRespected)
+{
+    QubitCache c(3);
+    for (int i = 0; i < 10; ++i)
+        c.touch(QubitId(static_cast<unsigned>(i)));
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.evictions(), 7u);
+}
+
+TEST(CacheSim, SequentialReuseHits)
+{
+    Program p("reuse", 2);
+    for (int i = 0; i < 10; ++i)
+        p.cnot(QubitId(0), QubitId(1));
+    const auto r = simulateCache(p, 4, FetchPolicy::InOrder);
+    EXPECT_EQ(r.accesses, 20u);
+    EXPECT_EQ(r.misses, 2u);  // only the compulsory misses
+    EXPECT_EQ(r.hits, 18u);
+}
+
+TEST(CacheSim, ThrashingWhenWorkingSetExceedsCapacity)
+{
+    Program p("thrash", 8);
+    for (int round = 0; round < 4; ++round)
+        for (int q = 0; q < 8; ++q)
+            p.x(QubitId(static_cast<unsigned>(q)));
+    const auto r = simulateCache(p, 4, FetchPolicy::InOrder);
+    // Cyclic access with LRU and half-size cache: every access misses.
+    EXPECT_EQ(r.hits, 0u);
+}
+
+TEST(CacheSim, OptimizedBeatsInOrderOnAdder)
+{
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        128, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    const std::size_t capacity = 128;
+    const auto in_order =
+        simulateCache(prog, capacity, FetchPolicy::InOrder);
+    const auto optimized =
+        simulateCache(prog, capacity, FetchPolicy::OptimizedLookahead);
+    EXPECT_GT(optimized.hitRate(), in_order.hitRate());
+    EXPECT_EQ(optimized.accesses, in_order.accesses);
+}
+
+TEST(CacheSim, IssueOrderIsAValidTopologicalOrder)
+{
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(16, true, &layout);
+    const auto r =
+        simulateCache(prog, 8, FetchPolicy::OptimizedLookahead);
+    ASSERT_EQ(r.issue_order.size(), prog.size());
+    // Verify via per-qubit last-position tracking: an instruction must
+    // come after every earlier instruction sharing a qubit.
+    std::vector<int> position(prog.size());
+    for (std::size_t pos = 0; pos < r.issue_order.size(); ++pos)
+        position[r.issue_order[pos]] = static_cast<int>(pos);
+    std::vector<int> last(static_cast<std::size_t>(prog.qubitCount()),
+                          -1);
+    for (std::uint32_t i = 0; i < prog.size(); ++i) {
+        for (const auto &q : prog[i].operands()) {
+            if (last[q.value()] >= 0)
+                EXPECT_LT(position[static_cast<std::size_t>(
+                              last[q.value()])],
+                          position[i]);
+            last[q.value()] = static_cast<int>(i);
+        }
+    }
+}
+
+TEST(CacheSim, WarmStartImprovesHitRate)
+{
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        64, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> mask(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * 64; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    const auto cold = simulateCache(prog, 96,
+                                    FetchPolicy::OptimizedLookahead,
+                                    false, mask);
+    const auto warm = simulateCache(prog, 96,
+                                    FetchPolicy::OptimizedLookahead,
+                                    true, mask);
+    EXPECT_GE(warm.hitRate(), cold.hitRate());
+}
+
+TEST(CacheSim, MaskExcludesScratchQubits)
+{
+    Program p("mask", 3);
+    p.toffoli(QubitId(0), QubitId(1), QubitId(2));
+    std::vector<bool> mask = {true, true, false};
+    const auto r =
+        simulateCache(p, 2, FetchPolicy::InOrder, false, mask);
+    EXPECT_EQ(r.accesses, 2u);  // q2 never counted
+}
+
+TEST(CacheSim, PaperFig7Separation)
+{
+    // The headline Fig. 7 behaviour: on the big adder with the data
+    // registers cached, optimized lookahead sits far above in-order.
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        1024, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> mask(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * 1024; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    const std::size_t capacity = 1800;  // 2x the 100-block PE count
+    const auto in_order = simulateCache(prog, capacity,
+                                        FetchPolicy::InOrder, true,
+                                        mask);
+    const auto optimized =
+        simulateCache(prog, capacity, FetchPolicy::OptimizedLookahead,
+                      true, mask);
+    EXPECT_GT(optimized.hitRate(), 0.80);
+    EXPECT_LT(in_order.hitRate(), 0.65);
+}
+
+TEST(CacheSimDeath, ZeroCapacityRejected)
+{
+    Program p("x", 1);
+    p.x(QubitId(0));
+    EXPECT_EXIT(simulateCache(p, 0, FetchPolicy::InOrder),
+                ::testing::ExitedWithCode(1), "capacity");
+}
+
+TEST(CacheSimDeath, BadMaskSizeRejected)
+{
+    Program p("x", 2);
+    p.x(QubitId(0));
+    std::vector<bool> mask = {true};
+    EXPECT_EXIT(simulateCache(p, 2, FetchPolicy::InOrder, false, mask),
+                ::testing::ExitedWithCode(1), "mask");
+}
+
+} // namespace
+} // namespace cache
+} // namespace qmh

@@ -1,0 +1,110 @@
+/** @file Schedule-level fidelity analysis tests. */
+
+#include <gtest/gtest.h>
+
+#include "ecc/circuit_fidelity.hh"
+#include "gen/draper.hh"
+
+namespace qmh {
+namespace ecc {
+namespace {
+
+const iontrap::Params params = iontrap::Params::future();
+
+TEST(ScheduleFidelity, SlotAccountingMatchesLatencyModel)
+{
+    EXPECT_EQ(ScheduleFidelity::slotsFor(circuit::GateKind::Toffoli),
+              15u);
+    EXPECT_EQ(ScheduleFidelity::slotsFor(circuit::GateKind::Cnot), 1u);
+    EXPECT_EQ(ScheduleFidelity::slotsFor(circuit::GateKind::Barrier),
+              0u);
+}
+
+TEST(ScheduleFidelity, AdderAtLevel2SucceedsWithHighProbability)
+{
+    const ScheduleFidelity analyzer(Code::steane(), params);
+    const auto adder = gen::draperAdder(1024);
+    const auto report = analyzer.analyze(adder, 2);
+    EXPECT_GT(report.success_probability, 0.999999);
+    EXPECT_EQ(report.level1_slots, 0u);
+    EXPECT_GT(report.logical_slots, 10000u);
+}
+
+TEST(ScheduleFidelity, Level1IsRiskierThanLevel2)
+{
+    const ScheduleFidelity analyzer(Code::steane(), params);
+    const auto adder = gen::draperAdder(256);
+    const auto l1 = analyzer.analyze(adder, 1);
+    const auto l2 = analyzer.analyze(adder, 2);
+    EXPECT_GT(l1.expected_failures, l2.expected_failures);
+    EXPECT_LT(l1.success_probability, l2.success_probability);
+}
+
+TEST(ScheduleFidelity, MixedInterpolatesMonotonically)
+{
+    const ScheduleFidelity analyzer(Code::steane(), params);
+    const auto adder = gen::draperAdder(128);
+    double prev = -1.0;
+    for (double f = 0.0; f <= 1.0; f += 0.25) {
+        const auto report = analyzer.analyzeMixed(adder, f);
+        EXPECT_GT(report.expected_failures, prev);
+        prev = report.expected_failures;
+        EXPECT_EQ(report.level1_slots + report.level2_slots,
+                  report.logical_slots);
+    }
+}
+
+TEST(ScheduleFidelity, PaperMixKeepsTimeShareNearTwoPercent)
+{
+    // Running half the slots at level 1 puts ~1% of wall-clock time
+    // there (paper Section 5.2), inside the 2% budget.
+    const ScheduleFidelity analyzer(Code::steane(), params);
+    const auto adder = gen::draperAdder(512);
+    const auto report = analyzer.analyzeMixed(adder, 0.5);
+    EXPECT_LT(report.level1_time_fraction, 0.02);
+    EXPECT_GT(report.level1_time_fraction, 0.005);
+}
+
+TEST(ScheduleFidelity, BaconShorSaferAtLevel1)
+{
+    const auto adder = gen::draperAdder(256);
+    const ScheduleFidelity steane(Code::steane(), params);
+    const ScheduleFidelity bs(Code::baconShor(), params);
+    EXPECT_GT(bs.analyze(adder, 1).success_probability,
+              steane.analyze(adder, 1).success_probability);
+}
+
+TEST(ScheduleFidelity, McAgreesWithAnalytic)
+{
+    // Use degraded physical parameters so failures are observable.
+    auto noisy = params;
+    noisy.single_gate_fail = 1e-4;
+    noisy.double_gate_fail = 5e-4;
+    noisy.measure_fail = 1e-4;
+    noisy.move_fail_per_um = 1e-4;
+    const ScheduleFidelity analyzer(Code::steane(), noisy);
+    const auto adder = gen::draperAdder(64);
+    const auto report = analyzer.analyze(adder, 1);
+    ASSERT_GT(report.expected_failures, 0.01);
+    ASSERT_LT(report.expected_failures, 5.0);
+
+    Random rng(31);
+    int successes = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t)
+        successes += analyzer.sampleRun(adder, 1, rng) ? 1 : 0;
+    const double measured =
+        static_cast<double>(successes) / trials;
+    EXPECT_NEAR(measured, report.success_probability, 0.03);
+}
+
+TEST(ScheduleFidelityDeath, BadFractionPanics)
+{
+    const ScheduleFidelity analyzer(Code::steane(), params);
+    const auto adder = gen::draperAdder(16);
+    EXPECT_DEATH(analyzer.analyzeMixed(adder, 1.5), "range");
+}
+
+} // namespace
+} // namespace ecc
+} // namespace qmh

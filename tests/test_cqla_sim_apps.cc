@@ -1,0 +1,165 @@
+/** @file Hierarchy DES and application model tests (Fig. 8). */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "cqla/apps.hh"
+#include "cqla/hierarchy_sim.hh"
+
+namespace qmh {
+namespace cqla {
+namespace {
+
+const iontrap::Params params = iontrap::Params::future();
+
+TEST(HierarchySim, RunsAndReportsSaneNumbers)
+{
+    HierarchySimConfig cfg;
+    cfg.code = ecc::CodeKind::BaconShor913;
+    cfg.n_bits = 256;
+    cfg.blocks = 49;
+    cfg.total_adders = 90;
+    cfg.level1_fraction = 2.0 / 3.0;
+    const auto r = runHierarchySim(cfg, params);
+    EXPECT_GT(r.makespan_s, 0.0);
+    EXPECT_GT(r.baseline_s, r.makespan_s);
+    EXPECT_EQ(r.level1_adds + r.level2_adds, cfg.total_adders);
+    EXPECT_GT(r.events_executed, cfg.total_adders);
+    EXPECT_GE(r.transfer_utilization, 0.0);
+    EXPECT_LE(r.transfer_utilization, 1.0);
+}
+
+TEST(HierarchySim, ConcurrentRegionsBoundedByLevel2Stream)
+{
+    // With fully independent adds, the makespan speedup approaches
+    // total / level2_adds (the level-2 region is the bottleneck).
+    HierarchySimConfig cfg;
+    cfg.code = ecc::CodeKind::Steane713;
+    cfg.n_bits = 256;
+    cfg.blocks = 49;
+    cfg.total_adders = 300;
+    cfg.level1_fraction = 1.0 / 3.0;
+    const auto r = runHierarchySim(cfg, params);
+    EXPECT_NEAR(r.makespan_speedup, 1.5, 0.05);
+}
+
+TEST(HierarchySim, ChainDependenceSlowsDown)
+{
+    HierarchySimConfig fast;
+    fast.code = ecc::CodeKind::BaconShor913;
+    fast.n_bits = 256;
+    fast.blocks = 49;
+    fast.total_adders = 120;
+    fast.level1_fraction = 2.0 / 3.0;
+    auto chained = fast;
+    chained.chain_dependent_fraction = 1.0;
+    const auto free_run = runHierarchySim(fast, params);
+    const auto chained_run = runHierarchySim(chained, params);
+    EXPECT_GE(chained_run.makespan_s, free_run.makespan_s);
+}
+
+TEST(HierarchySim, MeanAdderSpeedupTracksAnalyticModel)
+{
+    HierarchySimConfig cfg;
+    cfg.code = ecc::CodeKind::BaconShor913;
+    cfg.n_bits = 512;
+    cfg.blocks = 81;
+    cfg.total_adders = 120;
+    cfg.level1_fraction = 2.0 / 3.0;
+    const auto r = runHierarchySim(cfg, params);
+    EXPECT_GT(r.mean_adder_speedup, 5.0);
+    EXPECT_LT(r.mean_adder_speedup, 12.0);
+}
+
+TEST(HierarchySim, MoreChannelsNeverSlower)
+{
+    HierarchySimConfig cfg;
+    cfg.code = ecc::CodeKind::Steane713;
+    cfg.n_bits = 256;
+    cfg.blocks = 49;
+    cfg.total_adders = 60;
+    cfg.level1_fraction = 1.0 / 3.0;
+    auto cfg10 = cfg;
+    cfg10.parallel_transfers = 10;
+    auto cfg5 = cfg;
+    cfg5.parallel_transfers = 5;
+    EXPECT_LE(runHierarchySim(cfg10, params).makespan_s,
+              runHierarchySim(cfg5, params).makespan_s + 1e-9);
+}
+
+TEST(ModExp, SequentialAddersScaleNLogN)
+{
+    EXPECT_NEAR(ModExpModel::sequentialAdders(1024),
+                2.8 * 1024 * 10, 1.0);
+    EXPECT_GT(ModExpModel::sequentialAdders(2048) /
+                  ModExpModel::sequentialAdders(1024),
+              2.0);
+}
+
+TEST(ModExp, Fig8aComputationDominatesCommunication)
+{
+    ModExpModel model(ecc::Code::baconShor(), params);
+    for (int n : {32, 128, 512, 1024}) {
+        const auto blocks =
+            PerformanceModel::paperBlockCounts(n).second;
+        const auto t = model.totalTimes(n, blocks);
+        EXPECT_GT(t.computation_s, t.communication_s)
+            << "modexp is computation bound at n=" << n;
+    }
+}
+
+TEST(ModExp, Fig8aHoursScaleMatchesPaper)
+{
+    // Paper Fig. 8a: ~500 hours of computation at 1024 bits.
+    ModExpModel model(ecc::Code::baconShor(), params);
+    const auto t = model.totalTimes(1024, 121);
+    const double hours = units::secondsToHours(t.computation_s);
+    EXPECT_GT(hours, 300.0);
+    EXPECT_LT(hours, 700.0);
+}
+
+TEST(ModExp, TrafficGrowsWithWidth)
+{
+    ModExpModel model(ecc::Code::baconShor(), params);
+    EXPECT_GT(model.adderTraffic(512), model.adderTraffic(256));
+}
+
+TEST(Qft, Fig8bCommunicationTracksComputation)
+{
+    QftModel model(ecc::Code::baconShor(), params);
+    for (int n : {100, 400, 1000}) {
+        const auto t = model.totalTimes(n);
+        EXPECT_LT(t.communication_s, t.computation_s);
+        EXPECT_GT(t.communication_s, 0.7 * t.computation_s)
+            << "QFT communication closely tracks computation";
+    }
+}
+
+TEST(Qft, Fig8bSecondsScaleMatchesPaper)
+{
+    // Paper Fig. 8b: ~1e5 seconds at n = 1000 (Bacon-Shor).
+    QftModel model(ecc::Code::baconShor(), params);
+    const auto t = model.totalTimes(1000);
+    EXPECT_GT(t.computation_s, 6e4);
+    EXPECT_LT(t.computation_s, 1.5e5);
+}
+
+TEST(Qft, QuadraticGrowth)
+{
+    QftModel model(ecc::Code::baconShor(), params);
+    const auto t500 = model.totalTimes(500);
+    const auto t1000 = model.totalTimes(1000);
+    EXPECT_NEAR(t1000.computation_s / t500.computation_s, 4.0, 0.1);
+}
+
+TEST(HierarchySimDeath, RejectsBadConfig)
+{
+    HierarchySimConfig cfg;
+    cfg.total_adders = 0;
+    EXPECT_EXIT(runHierarchySim(cfg, params),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+} // namespace
+} // namespace cqla
+} // namespace qmh

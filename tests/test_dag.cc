@@ -1,0 +1,103 @@
+/** @file Dependency-graph tests. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/dag.hh"
+
+namespace qmh {
+namespace circuit {
+namespace {
+
+TEST(DependencyGraph, ChainIsSequential)
+{
+    Program p("chain", 2);
+    p.x(QubitId(0));
+    p.x(QubitId(0));
+    p.cnot(QubitId(0), QubitId(1));
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.depth(), 3u);
+    EXPECT_EQ(dag.inDegree(0), 0);
+    EXPECT_EQ(dag.inDegree(1), 1);
+    EXPECT_EQ(dag.inDegree(2), 1);
+    EXPECT_EQ(dag.successors(0).size(), 1u);
+}
+
+TEST(DependencyGraph, IndependentGatesShareLevel)
+{
+    Program p("par", 4);
+    p.x(QubitId(0));
+    p.x(QubitId(1));
+    p.cnot(QubitId(2), QubitId(3));
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.depth(), 1u);
+    EXPECT_EQ(dag.maxParallelism(), 3u);
+}
+
+TEST(DependencyGraph, SharedOperandCreatesEdgeEvenControlControl)
+{
+    // Quantum data cannot be copied: two gates reading the same qubit
+    // still serialize.
+    Program p("cc", 3);
+    p.cnot(QubitId(0), QubitId(1));
+    p.cnot(QubitId(0), QubitId(2));
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.depth(), 2u);
+}
+
+TEST(DependencyGraph, DuplicatePredecessorsDeduped)
+{
+    Program p("dup", 3);
+    p.cnot(QubitId(0), QubitId(1));
+    p.cnot(QubitId(0), QubitId(1));
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.predecessors(1).size(), 1u);
+    EXPECT_EQ(dag.inDegree(1), 1);
+}
+
+TEST(DependencyGraph, ParallelismProfileCountsPerLevel)
+{
+    Program p("prof", 4);
+    p.x(QubitId(0));
+    p.x(QubitId(1));
+    p.cnot(QubitId(0), QubitId(1));
+    p.x(QubitId(2));
+    DependencyGraph dag(p);
+    const auto profile = dag.parallelismProfile();
+    ASSERT_EQ(profile.size(), 2u);
+    EXPECT_EQ(profile[0], 3u);  // two X's + the independent x q2
+    EXPECT_EQ(profile[1], 1u);
+}
+
+TEST(DependencyGraph, BarrierSynchronizesEverything)
+{
+    Program p("bar", 3);
+    p.x(QubitId(0));
+    p.barrier();
+    p.x(QubitId(1));  // independent of x q0, but behind the barrier
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.depth(), 3u);
+    EXPECT_EQ(dag.inDegree(2), 1);
+}
+
+TEST(DependencyGraph, BarrierDependsOnAllTouchedQubits)
+{
+    Program p("bar2", 4);
+    p.x(QubitId(0));
+    p.x(QubitId(1));
+    p.barrier();
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.predecessors(2).size(), 2u);
+}
+
+TEST(DependencyGraph, EmptyProgram)
+{
+    Program p("empty", 2);
+    DependencyGraph dag(p);
+    EXPECT_EQ(dag.size(), 0u);
+    EXPECT_EQ(dag.depth(), 0u);
+    EXPECT_TRUE(dag.parallelismProfile().empty());
+}
+
+} // namespace
+} // namespace circuit
+} // namespace qmh

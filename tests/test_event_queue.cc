@@ -1,0 +1,149 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+
+namespace qmh {
+namespace sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, Priority::Default);
+    eq.schedule(5, [&] { order.push_back(3); }, Priority::Late);
+    eq.schedule(5, [&] { order.push_back(1); }, Priority::Stat);
+    eq.schedule(5, [&] { order.push_back(20); }, Priority::Default);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 20, 3}));
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(1, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 2u);
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleRunsSameTick)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> again = [&] {
+        if (++count < 5)
+            eq.scheduleAfter(0, again);
+    };
+    eq.schedule(7, again);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueueDeath, EmptyHandlerPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.schedule(1, EventQueue::Handler{}), "empty handler");
+}
+
+TEST(Resource, GrantsUpToCapacity)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 2);
+    int granted = 0;
+    res.acquire([&] { ++granted; });
+    res.acquire([&] { ++granted; });
+    res.acquire([&] { ++granted; });  // must wait
+    eq.run();
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(res.inUse(), 2u);
+    EXPECT_EQ(res.waiting(), 1u);
+    res.release();
+    eq.run();
+    EXPECT_EQ(granted, 3);
+}
+
+TEST(Resource, FifoOrderAmongWaiters)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    std::vector<int> order;
+    res.acquire([&] { order.push_back(0); });
+    res.acquire([&] { order.push_back(1); });
+    res.acquire([&] { order.push_back(2); });
+    eq.run();
+    res.release();
+    eq.run();
+    res.release();
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(res.grants(), 3u);
+}
+
+TEST(ResourceDeath, ReleaseWithoutAcquirePanics)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 1);
+    EXPECT_DEATH(res.release(), "release without acquire");
+}
+
+} // namespace
+} // namespace sim
+} // namespace qmh

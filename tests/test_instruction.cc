@@ -1,0 +1,92 @@
+/** @file Instruction set unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/instruction.hh"
+
+namespace qmh {
+namespace circuit {
+namespace {
+
+TEST(GateKindMeta, ArityTable)
+{
+    EXPECT_EQ(gateArity(GateKind::X), 1);
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::Cnot), 2);
+    EXPECT_EQ(gateArity(GateKind::Cphase), 2);
+    EXPECT_EQ(gateArity(GateKind::Swap), 2);
+    EXPECT_EQ(gateArity(GateKind::Toffoli), 3);
+    EXPECT_EQ(gateArity(GateKind::Measure), 1);
+    EXPECT_EQ(gateArity(GateKind::Barrier), 0);
+}
+
+TEST(GateKindMeta, ClassicalSubset)
+{
+    EXPECT_TRUE(isClassicalGate(GateKind::X));
+    EXPECT_TRUE(isClassicalGate(GateKind::Cnot));
+    EXPECT_TRUE(isClassicalGate(GateKind::Swap));
+    EXPECT_TRUE(isClassicalGate(GateKind::Toffoli));
+    EXPECT_TRUE(isClassicalGate(GateKind::Barrier));
+    EXPECT_FALSE(isClassicalGate(GateKind::H));
+    EXPECT_FALSE(isClassicalGate(GateKind::T));
+    EXPECT_FALSE(isClassicalGate(GateKind::Cphase));
+    EXPECT_FALSE(isClassicalGate(GateKind::Measure));
+}
+
+TEST(Instruction, FactoriesSetOperands)
+{
+    const auto x = Instruction::makeOne(GateKind::X, QubitId(4));
+    EXPECT_EQ(x.arity, 1);
+    EXPECT_EQ(x.ops[0], QubitId(4));
+
+    const auto cnot =
+        Instruction::makeTwo(GateKind::Cnot, QubitId(1), QubitId(2));
+    EXPECT_EQ(cnot.arity, 2);
+    EXPECT_EQ(cnot.operands().size(), 2u);
+
+    const auto tof = Instruction::makeThree(GateKind::Toffoli, QubitId(0),
+                                            QubitId(1), QubitId(2));
+    EXPECT_EQ(tof.arity, 3);
+
+    const auto barrier = Instruction::makeBarrier();
+    EXPECT_EQ(barrier.arity, 0);
+    EXPECT_TRUE(barrier.operands().empty());
+}
+
+TEST(Instruction, ToStringMatchesAssembly)
+{
+    EXPECT_EQ(Instruction::makeOne(GateKind::H, QubitId(3)).toString(),
+              "h q3");
+    EXPECT_EQ(Instruction::makeTwo(GateKind::Cphase, QubitId(0),
+                                   QubitId(9), 4)
+                  .toString(),
+              "cphase 4 q0 q9");
+    EXPECT_EQ(Instruction::makeThree(GateKind::Toffoli, QubitId(1),
+                                     QubitId(2), QubitId(3))
+                  .toString(),
+              "toffoli q1 q2 q3");
+    EXPECT_EQ(Instruction::makeBarrier().toString(), "barrier");
+}
+
+TEST(InstructionDeath, WrongArityFactoryPanics)
+{
+    EXPECT_DEATH(Instruction::makeOne(GateKind::Cnot, QubitId(0)),
+                 "not a 1-qubit gate");
+    EXPECT_DEATH(Instruction::makeTwo(GateKind::X, QubitId(0),
+                                      QubitId(1)),
+                 "not a 2-qubit gate");
+}
+
+TEST(InstructionDeath, DuplicateOperandsPanic)
+{
+    EXPECT_DEATH(Instruction::makeTwo(GateKind::Cnot, QubitId(1),
+                                      QubitId(1)),
+                 "duplicate");
+    EXPECT_DEATH(Instruction::makeThree(GateKind::Toffoli, QubitId(1),
+                                        QubitId(2), QubitId(1)),
+                 "duplicate");
+}
+
+} // namespace
+} // namespace circuit
+} // namespace qmh

@@ -1,0 +1,89 @@
+/** @file Monte-Carlo validation of concatenated error correction. */
+
+#include <gtest/gtest.h>
+
+#include "ecc/montecarlo.hh"
+
+namespace qmh {
+namespace ecc {
+namespace {
+
+TEST(EcMonteCarlo, AnalyticQuadraticSuppression)
+{
+    const EcMonteCarlo mc(Code::steane());
+    // Level-1 logical rate ~ A p^2: quartering p cuts the rate ~16x.
+    const double hi = mc.analytic(1, 1e-3);
+    const double lo = mc.analytic(1, 0.25e-3);
+    EXPECT_NEAR(hi / lo, 16.0, 1.0);
+}
+
+TEST(EcMonteCarlo, AnalyticDoubleExponentialWithLevel)
+{
+    const EcMonteCarlo mc(Code::steane());
+    const double p0 = 1e-3;
+    const double l1 = mc.analytic(1, p0);
+    const double l2 = mc.analytic(2, p0);
+    // Level 2 rate ~ (level-1 rate)^2 x combinatorial factor.
+    EXPECT_LT(l2, l1 * l1 * 50.0);
+    EXPECT_GT(l2, l1 * l1 / 50.0);
+}
+
+TEST(EcMonteCarlo, McMatchesAnalyticWithinError)
+{
+    const EcMonteCarlo mc(Code::steane());
+    Random rng(101);
+    const double p0 = 5e-3;
+    const auto est = mc.estimate(1, p0, 200000, rng);
+    const double expected = mc.analytic(1, p0);
+    EXPECT_NEAR(est.rate, expected,
+                5.0 * est.std_error + 0.1 * expected);
+}
+
+TEST(EcMonteCarlo, McLevel2Suppressed)
+{
+    const EcMonteCarlo mc(Code::baconShor());
+    Random rng(202);
+    // Probe below the model's pseudo-threshold (~6.5e-3 for the
+    // 18-location Bacon-Shor block) so encoding actually helps.
+    const double p0 = 3e-3;
+    ASSERT_LT(p0, mc.pseudoThreshold());
+    const auto l1 = mc.estimate(1, p0, 60000, rng);
+    const auto l2 = mc.estimate(2, p0, 60000, rng);
+    EXPECT_LT(l2.rate, l1.rate);
+}
+
+TEST(EcMonteCarlo, PseudoThresholdIsFixedPoint)
+{
+    for (const auto kind :
+         {CodeKind::Steane713, CodeKind::BaconShor913}) {
+        const EcMonteCarlo mc(Code::byKind(kind));
+        const double pth = mc.pseudoThreshold();
+        EXPECT_GT(pth, 1e-5);
+        EXPECT_LT(pth, 0.5);
+        EXPECT_NEAR(mc.analytic(1, pth), pth, 0.05 * pth);
+        // Below threshold encoding helps; above it hurts.
+        EXPECT_LT(mc.analytic(1, pth / 10.0), pth / 10.0);
+        EXPECT_GT(mc.analytic(1, pth * 5.0), pth * 5.0);
+    }
+}
+
+TEST(EcMonteCarlo, DeterministicUnderSeed)
+{
+    const EcMonteCarlo mc(Code::steane());
+    Random a(7), b(7);
+    const auto ra = mc.estimate(1, 1e-2, 5000, a);
+    const auto rb = mc.estimate(1, 1e-2, 5000, b);
+    EXPECT_EQ(ra.failures, rb.failures);
+}
+
+TEST(EcMonteCarlo, MoreNoiseLocationsRaiseRate)
+{
+    const EcMonteCarlo lean(Code::steane(), 1.0);
+    const EcMonteCarlo noisy(Code::steane(), 4.0);
+    EXPECT_GT(noisy.analytic(1, 1e-3), lean.analytic(1, 1e-3));
+    EXPECT_LT(noisy.pseudoThreshold(), lean.pseudoThreshold());
+}
+
+} // namespace
+} // namespace ecc
+} // namespace qmh

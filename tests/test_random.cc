@@ -1,0 +1,128 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace qmh {
+namespace {
+
+TEST(Random, SameSeedSameStream)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanIsHalf)
+{
+    Random rng(11);
+    double sum = 0.0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Random, UniformIntRespectsBound)
+{
+    Random rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Random, UniformIntCoversRange)
+{
+    Random rng(5);
+    bool seen[10] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.uniformInt(10)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, UniformRangeInclusive)
+{
+    Random rng(9);
+    bool lo_seen = false, hi_seen = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        lo_seen |= v == -3;
+        hi_seen |= v == 3;
+    }
+    EXPECT_TRUE(lo_seen);
+    EXPECT_TRUE(hi_seen);
+}
+
+TEST(Random, BernoulliEdgeCases)
+{
+    Random rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Random, BernoulliFrequency)
+{
+    Random rng(13);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Random, BinomialSmallNMatchesMean)
+{
+    Random rng(17);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.binomial(20, 0.25));
+    EXPECT_NEAR(sum / trials, 5.0, 0.1);
+}
+
+TEST(Random, BinomialLargeNMatchesMean)
+{
+    Random rng(19);
+    double sum = 0.0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(rng.binomial(100000, 0.01));
+    EXPECT_NEAR(sum / trials, 1000.0, 10.0);
+}
+
+TEST(Random, BinomialDegenerateProbabilities)
+{
+    Random rng(23);
+    EXPECT_EQ(rng.binomial(1000, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(1000, 1.0), 1000u);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+} // namespace
+} // namespace qmh

@@ -1,0 +1,79 @@
+/** @file Reversible-logic simulator tests. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/reversible.hh"
+
+namespace qmh {
+namespace circuit {
+namespace {
+
+TEST(ReversibleState, GateSemantics)
+{
+    ReversibleState st(3);
+    st.apply(Instruction::makeOne(GateKind::X, QubitId(0)));
+    EXPECT_TRUE(st.get(QubitId(0)));
+
+    // CNOT fires only when control set.
+    st.apply(Instruction::makeTwo(GateKind::Cnot, QubitId(0), QubitId(1)));
+    EXPECT_TRUE(st.get(QubitId(1)));
+    st.apply(Instruction::makeTwo(GateKind::Cnot, QubitId(2), QubitId(1)));
+    EXPECT_TRUE(st.get(QubitId(1)));  // control q2 is 0
+
+    // Toffoli needs both controls.
+    st.apply(Instruction::makeThree(GateKind::Toffoli, QubitId(0),
+                                    QubitId(1), QubitId(2)));
+    EXPECT_TRUE(st.get(QubitId(2)));
+    // Swap.
+    st.set(QubitId(0), false);
+    st.apply(Instruction::makeTwo(GateKind::Swap, QubitId(0), QubitId(2)));
+    EXPECT_TRUE(st.get(QubitId(0)));
+    EXPECT_FALSE(st.get(QubitId(2)));
+    // Barrier is a no-op.
+    st.apply(Instruction::makeBarrier());
+    EXPECT_TRUE(st.get(QubitId(0)));
+}
+
+TEST(ReversibleState, IntegerWindows)
+{
+    ReversibleState st(16);
+    st.loadInteger(0xA5, 4, 8);
+    EXPECT_EQ(st.readInteger(4, 8), 0xA5u);
+    EXPECT_EQ(st.readInteger(0, 4), 0u);
+    // Little-endian: bit 0 of the value goes to the lowest qubit.
+    EXPECT_TRUE(st.get(QubitId(4)));   // 0xA5 bit0 = 1
+    EXPECT_FALSE(st.get(QubitId(5)));  // bit1 = 0
+}
+
+TEST(ReversibleState, RunExecutesClassicalProgram)
+{
+    Program p("inc", 3);
+    p.x(QubitId(0));
+    p.cnot(QubitId(0), QubitId(1));
+    ReversibleState st(3);
+    EXPECT_TRUE(st.run(p));
+    EXPECT_EQ(st.readInteger(0, 3), 3u);
+}
+
+TEST(ReversibleState, RunRejectsQuantumGates)
+{
+    Program p("q", 2);
+    p.x(QubitId(0));
+    p.h(QubitId(1));
+    ReversibleState st(2);
+    EXPECT_FALSE(st.run(p));
+    // The classical prefix executed.
+    EXPECT_TRUE(st.get(QubitId(0)));
+}
+
+TEST(ReversibleStateDeath, OutOfRangePanics)
+{
+    ReversibleState st(2);
+    EXPECT_DEATH(st.get(QubitId(5)), "out of range");
+    EXPECT_DEATH(st.loadInteger(1, 1, 9), "window");
+    EXPECT_DEATH(st.loadInteger(4, 0, 2), "fit");
+}
+
+} // namespace
+} // namespace circuit
+} // namespace qmh

@@ -1,0 +1,225 @@
+/** @file List and round-synchronous scheduler tests. */
+
+#include <gtest/gtest.h>
+
+#include "gen/draper.hh"
+#include "sched/scheduler.hh"
+
+namespace qmh {
+namespace sched {
+namespace {
+
+using circuit::Program;
+using circuit::QubitId;
+
+Program
+chainProgram(int gates)
+{
+    Program p("chain", 1);
+    for (int i = 0; i < gates; ++i)
+        p.x(QubitId(0));
+    return p;
+}
+
+TEST(ListSchedule, RespectsDependencies)
+{
+    Program p("dep", 3);
+    p.cnot(QubitId(0), QubitId(1));
+    p.cnot(QubitId(1), QubitId(2));
+    LatencyModel lat;
+    const auto s = listSchedule(p, lat, unlimited_blocks);
+    EXPECT_GE(s.start[1], s.start[0] + lat.cnot);
+}
+
+TEST(ListSchedule, ChainMakespanIsSumOfLatencies)
+{
+    LatencyModel lat;
+    const auto s = listSchedule(chainProgram(10), lat, 4);
+    EXPECT_EQ(s.makespan, 10u * lat.single);
+}
+
+TEST(ListSchedule, UnlimitedEqualsCriticalPath)
+{
+    Program p("wide", 8);
+    for (int i = 0; i < 4; ++i)
+        p.toffoli(QubitId(2 * i), QubitId(2 * i + 1),
+                  QubitId((2 * i + 2) % 8));
+    LatencyModel lat;
+    const auto s = listSchedule(p, lat, unlimited_blocks);
+    // All four Toffolis conflict pairwise through shared qubits; the
+    // last one can only start after its predecessors release operands.
+    EXPECT_GE(s.makespan, lat.toffoli);
+}
+
+TEST(ListSchedule, CapacityNeverExceeded)
+{
+    Program p("par", 12);
+    for (int i = 0; i < 6; ++i)
+        p.cnot(QubitId(2 * i), QubitId(2 * i + 1));
+    LatencyModel lat;
+    const auto s = listSchedule(p, lat, 2);
+    const auto profile = s.inFlightProfile();
+    for (const auto in_flight : profile)
+        EXPECT_LE(in_flight, 2u);
+    EXPECT_EQ(s.makespan, 3u);  // 6 unit gates on 2 blocks
+}
+
+TEST(ListSchedule, WorkConservingOnIndependentGates)
+{
+    Program p("ind", 20);
+    for (int i = 0; i < 10; ++i)
+        p.cnot(QubitId(2 * i), QubitId(2 * i + 1));
+    LatencyModel lat;
+    for (unsigned blocks : {1u, 2u, 5u, 10u}) {
+        const auto s = listSchedule(p, lat, blocks);
+        EXPECT_EQ(s.makespan, (10 + blocks - 1) / blocks)
+            << "blocks=" << blocks;
+    }
+}
+
+TEST(ListSchedule, BusyStepsIndependentOfBlocks)
+{
+    const auto prog = gen::draperAdder(16);
+    LatencyModel lat;
+    const auto a = listSchedule(prog, lat, 4);
+    const auto b = listSchedule(prog, lat, unlimited_blocks);
+    EXPECT_EQ(a.busy_block_steps, b.busy_block_steps);
+}
+
+TEST(ListSchedule, UtilizationBounded)
+{
+    const auto prog = gen::draperAdder(32);
+    LatencyModel lat;
+    for (unsigned blocks : {1u, 4u, 16u}) {
+        const auto s = listSchedule(prog, lat, blocks);
+        EXPECT_GT(s.utilization(), 0.0);
+        EXPECT_LE(s.utilization(), 1.0 + 1e-9);
+    }
+}
+
+TEST(ListSchedule, MoreBlocksNeverSlower)
+{
+    const auto prog = gen::draperAdder(32, true, nullptr,
+                                       gen::UncomputeMode::Full, false);
+    LatencyModel lat;
+    std::uint64_t prev = ~0ull;
+    for (unsigned blocks : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const auto s = listSchedule(prog, lat, blocks);
+        EXPECT_LE(s.makespan, prev);
+        prev = s.makespan;
+    }
+}
+
+TEST(RoundSchedule, StructuralRoundsAreBarriers)
+{
+    Program p("rounds", 4);
+    p.x(QubitId(0));
+    p.x(QubitId(1));
+    p.x(QubitId(0));  // conflicts: opens round 2
+    p.x(QubitId(2));  // joins round 2
+    LatencyModel lat;
+    const auto s = roundSchedule(p, lat, unlimited_blocks);
+    EXPECT_EQ(s.makespan, 2u);
+    EXPECT_EQ(s.start[0], 0u);
+    EXPECT_EQ(s.start[1], 0u);
+    EXPECT_EQ(s.start[2], 1u);
+    EXPECT_EQ(s.start[3], 1u);
+}
+
+TEST(RoundSchedule, ExplicitBarrierSplitsRounds)
+{
+    Program p("b", 2);
+    p.x(QubitId(0));
+    p.barrier();
+    p.x(QubitId(1));  // independent, but the barrier forces round 2
+    LatencyModel lat;
+    const auto s = roundSchedule(p, lat, unlimited_blocks);
+    EXPECT_EQ(s.makespan, 2u);
+}
+
+TEST(RoundSchedule, BatchesWideRounds)
+{
+    Program p("wide", 12);
+    for (int i = 0; i < 6; ++i)
+        p.cnot(QubitId(2 * i), QubitId(2 * i + 1));
+    LatencyModel lat;
+    const auto two = roundSchedule(p, lat, 2);
+    EXPECT_EQ(two.makespan, 3u);  // ceil(6/2) batches x 1 step
+    const auto four = roundSchedule(p, lat, 4);
+    EXPECT_EQ(four.makespan, 2u);
+}
+
+TEST(RoundSchedule, RoundSlotIsSlowestGate)
+{
+    Program p("mixed", 4);
+    p.cnot(QubitId(0), QubitId(1));
+    p.toffoli(QubitId(1), QubitId(2), QubitId(3));  // conflict: round 2
+    LatencyModel lat;
+    const auto s = roundSchedule(p, lat, unlimited_blocks);
+    EXPECT_EQ(s.makespan, lat.cnot + lat.toffoli);
+}
+
+TEST(RoundSchedule, AdderCriticalPathMatchesPaperScale)
+{
+    // Fig. 2: the 64-bit adder spans roughly 20-25 Toffoli slots.
+    const auto prog = gen::draperAdder(
+        64, true, nullptr, gen::UncomputeMode::CarriesLeftDirty);
+    LatencyModel lat;
+    const auto s = roundSchedule(prog, lat, unlimited_blocks);
+    const double slots =
+        static_cast<double>(s.makespan) / lat.toffoli;
+    EXPECT_GE(slots, 20.0);
+    EXPECT_LE(slots, 26.0);
+}
+
+TEST(RoundSchedule, FifteenBlocksMatchUnlimitedFor64Bit)
+{
+    // The paper's Fig. 2 claim: 15 compute blocks achieve the same
+    // total runtime as unlimited resources for the 64-bit adder
+    // (under the work-conserving bound).
+    const auto prog = gen::draperAdder(
+        64, true, nullptr, gen::UncomputeMode::CarriesLeftDirty);
+    LatencyModel lat;
+    const auto unl = roundSchedule(prog, lat, unlimited_blocks);
+    const double work_bound =
+        static_cast<double>(unl.busy_block_steps) / 15.0;
+    EXPECT_LE(work_bound, static_cast<double>(unl.makespan));
+}
+
+TEST(Schedules, ProfilesAccountForAllWork)
+{
+    const auto prog = gen::draperAdder(16);
+    LatencyModel lat;
+    for (const auto &s :
+         {listSchedule(prog, lat, 4), roundSchedule(prog, lat, 4)}) {
+        const auto profile = s.inFlightProfile();
+        std::uint64_t area = 0;
+        for (const auto v : profile)
+            area += v;
+        EXPECT_EQ(area, s.busy_block_steps);
+    }
+}
+
+TEST(Schedules, WindowedProfileAverages)
+{
+    Program p("w", 2);
+    p.toffoli(QubitId(0), QubitId(1), p.addQubit());
+    LatencyModel lat;
+    const auto s = listSchedule(p, lat, 1);
+    const auto w = s.windowedProfile(15);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(SchedulesDeath, ZeroWindowPanics)
+{
+    Program p("w", 1);
+    p.x(QubitId(0));
+    LatencyModel lat;
+    const auto s = listSchedule(p, lat, 1);
+    EXPECT_DEATH(s.windowedProfile(0), "zero window");
+}
+
+} // namespace
+} // namespace sched
+} // namespace qmh

@@ -1,0 +1,111 @@
+/** @file Unit tests for the statistics package. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace qmh {
+namespace {
+
+TEST(Scalar, StartsAtZeroAndAccumulates)
+{
+    stats::Scalar s("ops", "operations");
+    EXPECT_EQ(s.value(), 0.0);
+    s.inc();
+    s.inc(2.5);
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    stats::Average a("lat", "latency");
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, ResetClears)
+{
+    stats::Average a("x", "");
+    a.sample(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsSamplesCorrectly)
+{
+    stats::Histogram h("h", "", 0.0, 10.0, 5);
+    h.sample(0.5);   // bucket 0
+    h.sample(3.0);   // bucket 1
+    h.sample(9.99);  // bucket 4
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    stats::Histogram h("h", "", 0.0, 1.0, 2);
+    h.sample(-0.1);
+    h.sample(1.0);
+    h.sample(5.0, 3);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    stats::Histogram h("h", "", 0.0, 4.0, 4);
+    h.sample(1.5, 7);
+    EXPECT_EQ(h.bucketCount(1), 7u);
+}
+
+TEST(StatGroup, DumpContainsNamesAndValues)
+{
+    stats::Scalar s("count", "the count");
+    stats::Average a("delay", "the delay");
+    s.inc(42);
+    a.sample(3.0);
+    stats::StatGroup group("mygroup");
+    group.add(&s);
+    group.add(&a);
+    std::ostringstream os;
+    group.dump(os);
+    const auto text = os.str();
+    EXPECT_NE(text.find("mygroup.count"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("mygroup.delay.mean"), std::string::npos);
+    EXPECT_NE(text.find("the count"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsMembers)
+{
+    stats::Scalar s("c", "");
+    stats::Average a("d", "");
+    s.inc(5);
+    a.sample(5);
+    stats::StatGroup group("g");
+    group.add(&s);
+    group.add(&a);
+    group.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+} // namespace
+} // namespace qmh

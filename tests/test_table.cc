@@ -1,0 +1,93 @@
+/** @file Unit tests for the ASCII table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace qmh {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows)
+{
+    AsciiTable t;
+    t.setHeader({"n", "value"});
+    t.addRow({"32", "1.5"});
+    t.addRow({"1024", "13.4"});
+    const auto text = t.toString();
+    EXPECT_NE(text.find(" n |"), std::string::npos);
+    EXPECT_NE(text.find("1024"), std::string::npos);
+    EXPECT_NE(text.find("13.4"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnWidthsExpandToContent)
+{
+    AsciiTable t;
+    t.setHeader({"x"});
+    t.addRow({"a-very-long-cell"});
+    const auto text = t.toString();
+    EXPECT_NE(text.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(AsciiTable, CaptionPrintedFirst)
+{
+    AsciiTable t;
+    t.setCaption("Table 4");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    const auto text = t.toString();
+    EXPECT_EQ(text.rfind("Table 4", 0), 0u);
+}
+
+TEST(AsciiTable, SeparatorAddsRule)
+{
+    AsciiTable t;
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const auto text = t.toString();
+    // header rule + top + separator + bottom = 4 rules
+    int rules = 0;
+    for (std::size_t pos = 0; (pos = text.find("+-", pos)) !=
+                              std::string::npos;
+         ++pos)
+        ++rules;
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(AsciiTable, NumFormatting)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(std::uint64_t(42)), "42");
+    EXPECT_EQ(AsciiTable::num(-7), "-7");
+}
+
+TEST(AsciiTable, SciFormatting)
+{
+    EXPECT_EQ(AsciiTable::sci(3.1e-3, 1), "3.1e-03");
+}
+
+TEST(AsciiTable, CountsRowsAndColumns)
+{
+    AsciiTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(AsciiTableDeath, MismatchedRowPanics)
+{
+    AsciiTable t;
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(AsciiTableDeath, RowBeforeHeaderPanics)
+{
+    AsciiTable t;
+    EXPECT_DEATH(t.addRow({"x"}), "setHeader");
+}
+
+} // namespace
+} // namespace qmh
