@@ -1,14 +1,25 @@
 /** @file Reproduces paper Fig. 6(b): superblock bandwidth crossover. */
 
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "net/bandwidth.hh"
+#include "sweep/sweep.hh"
 
 using namespace qmh;
 
 namespace {
+
+/** Supply/demand at one superblock size. */
+struct Fig6bPoint
+{
+    unsigned blocks = 0;
+    double required_worst = 0.0;
+    double required_draper = 0.0;
+    double available = 0.0;
+};
 
 void
 printFig6b()
@@ -19,16 +30,38 @@ printFig6b()
     const auto params = iontrap::Params::future();
     const net::BandwidthModel model(ecc::Code::steane(), 2, params);
 
+    // Sweep superblock sizes 10..80 across the pool; the model object
+    // is immutable, so points share it freely.
+    sweep::SweepRunner runner;
+    const auto points =
+        runner.map(8, [&model](std::size_t i, Random &) {
+            Fig6bPoint point;
+            point.blocks = 10 * (static_cast<unsigned>(i) + 1);
+            point.required_worst =
+                model.requiredWorstCase(point.blocks);
+            point.required_draper = model.requiredDraper(point.blocks);
+            point.available =
+                model.availablePerSuperblock(point.blocks);
+            return point;
+        });
+
     AsciiTable t;
     t.setHeader({"Blocks", "Required worst [q/s]",
                  "Required Draper [q/s]", "Available [q/s]"});
-    for (unsigned b = 10; b <= 80; b += 10) {
-        t.addRow({std::to_string(b),
-                  AsciiTable::num(model.requiredWorstCase(b), 2),
-                  AsciiTable::num(model.requiredDraper(b), 2),
-                  AsciiTable::num(model.availablePerSuperblock(b), 2)});
+    for (const auto &point : points) {
+        t.addRow({std::to_string(point.blocks),
+                  AsciiTable::num(point.required_worst, 2),
+                  AsciiTable::num(point.required_draper, 2),
+                  AsciiTable::num(point.available, 2)});
     }
     t.print(std::cout);
+
+    sweep::ResultTable table({"blocks", "required_worst_qps",
+                              "required_draper_qps", "available_qps"});
+    for (const auto &point : points)
+        table.addRow({point.blocks, point.required_worst,
+                      point.required_draper, point.available});
+    maybeWriteSweepOutputs(table, "fig6b");
 
     const net::BandwidthModel bs(ecc::Code::baconShor(), 2, params);
     std::printf("Draper/available crossover: Steane %u blocks, "

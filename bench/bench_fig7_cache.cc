@@ -1,16 +1,57 @@
 /** @file Reproduces paper Fig. 7: quantum cache hit rates. */
 
+#include <cstdlib>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hh"
 #include "cache/cache_sim.hh"
 #include "common/table.hh"
 #include "cqla/perf_model.hh"
 #include "gen/draper.hh"
+#include "sweep/sweep.hh"
 
 using namespace qmh;
 
 namespace {
+
+const int adder_widths[] = {64, 128, 256, 512, 1024};
+const double cache_multipliers[] = {1.0, 1.5, 2.0};
+
+/** One generated workload: the adder program plus its cacheable set. */
+struct Workload
+{
+    circuit::Program program;
+    std::vector<bool> cacheable;
+    unsigned pe = 0;
+};
+
+Workload
+makeWorkload(int n)
+{
+    Workload w;
+    gen::AdderLayout layout;
+    w.program = gen::draperAdder(n, true, &layout,
+                                 gen::UncomputeMode::CarriesLeftDirty);
+    // Cacheable set: the two data registers; carry/tree ancilla are
+    // compute-block-local scratch.
+    w.cacheable.assign(static_cast<std::size_t>(layout.total_qubits),
+                       false);
+    for (int i = 0; i < 2 * n; ++i)
+        w.cacheable[static_cast<std::size_t>(i)] = true;
+    w.pe = 9 * cqla::PerformanceModel::paperBlockCounts(n).second;
+    return w;
+}
+
+/** Hit rates for one (adder, capacity) cell under both policies. */
+struct Fig7Cell
+{
+    int n = 0;
+    double multiplier = 0.0;
+    std::size_t capacity = 0;
+    double in_order_hit_rate = 0.0;
+    double optimized_hit_rate = 0.0;
+};
 
 void
 printFig7()
@@ -18,40 +59,79 @@ printFig7()
     benchBanner("Figure 7",
                 "cache hit rate, in-order vs optimized fetch, cache "
                 "size in {1, 1.5, 2} x PE");
+
+    sweep::SweepRunner runner;
+
+    // Stage 1: generate the adder workloads (one per width) in
+    // parallel; each is read-only afterwards.
+    const auto workloads = runner.map(
+        std::size(adder_widths), [](std::size_t i, Random &) {
+            return makeWorkload(adder_widths[i]);
+        });
+
+    // Stage 2: fan the (width x capacity) grid across the pool; each
+    // point runs both fetch policies on the shared immutable program.
+    const std::size_t n_cells =
+        std::size(adder_widths) * std::size(cache_multipliers);
+    const auto cells = runner.map(
+        n_cells, [&workloads](std::size_t i, Random &) {
+            const std::size_t wi = i / std::size(cache_multipliers);
+            const std::size_t mi = i % std::size(cache_multipliers);
+            const Workload &w = workloads[wi];
+            Fig7Cell cell;
+            cell.n = adder_widths[wi];
+            cell.multiplier = cache_multipliers[mi];
+            cell.capacity =
+                static_cast<std::size_t>(w.pe * cell.multiplier);
+            cell.in_order_hit_rate =
+                cache::simulateCache(w.program, cell.capacity,
+                                     cache::FetchPolicy::InOrder, true,
+                                     w.cacheable)
+                    .hitRate();
+            cell.optimized_hit_rate =
+                cache::simulateCache(
+                    w.program, cell.capacity,
+                    cache::FetchPolicy::OptimizedLookahead, true,
+                    w.cacheable)
+                    .hitRate();
+            return cell;
+        });
+
     AsciiTable t;
     t.setHeader({"Adder", "PE", "Cache=PE io/opt",
                  "Cache=1.5PE io/opt", "Cache=2PE io/opt"});
-    for (const int n : {64, 128, 256, 512, 1024}) {
-        gen::AdderLayout layout;
-        const auto prog = gen::draperAdder(
-            n, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
-        // Cacheable set: the two data registers; carry/tree ancilla
-        // are compute-block-local scratch.
-        std::vector<bool> mask(
-            static_cast<std::size_t>(layout.total_qubits), false);
-        for (int i = 0; i < 2 * n; ++i)
-            mask[static_cast<std::size_t>(i)] = true;
-        const unsigned pe =
-            9 * cqla::PerformanceModel::paperBlockCounts(n).second;
-
-        std::vector<std::string> row = {std::to_string(n) + "-bit",
-                                        std::to_string(pe)};
-        for (const double mult : {1.0, 1.5, 2.0}) {
-            const auto capacity =
-                static_cast<std::size_t>(pe * mult);
-            const auto in_order = cache::simulateCache(
-                prog, capacity, cache::FetchPolicy::InOrder, true,
-                mask);
-            const auto optimized = cache::simulateCache(
-                prog, capacity, cache::FetchPolicy::OptimizedLookahead,
-                true, mask);
+    for (std::size_t wi = 0; wi < std::size(adder_widths); ++wi) {
+        std::vector<std::string> row = {
+            std::to_string(adder_widths[wi]) + "-bit",
+            std::to_string(workloads[wi].pe)};
+        for (std::size_t mi = 0; mi < std::size(cache_multipliers);
+             ++mi) {
+            const auto &cell =
+                cells[wi * std::size(cache_multipliers) + mi];
             row.push_back(
-                AsciiTable::num(100.0 * in_order.hitRate(), 1) + "% / " +
-                AsciiTable::num(100.0 * optimized.hitRate(), 1) + "%");
+                AsciiTable::num(100.0 * cell.in_order_hit_rate, 1) +
+                "% / " +
+                AsciiTable::num(100.0 * cell.optimized_hit_rate, 1) +
+                "%");
         }
         t.addRow(row);
     }
     t.print(std::cout);
+
+    sweep::ResultTable table({"adder_bits", "pe", "capacity",
+                              "multiplier", "in_order_hit_rate",
+                              "optimized_hit_rate"});
+    for (std::size_t wi = 0; wi < std::size(adder_widths); ++wi)
+        for (std::size_t mi = 0; mi < std::size(cache_multipliers);
+             ++mi) {
+            const auto &cell =
+                cells[wi * std::size(cache_multipliers) + mi];
+            table.addRow({cell.n, workloads[wi].pe,
+                          static_cast<std::uint64_t>(cell.capacity),
+                          cell.multiplier, cell.in_order_hit_rate,
+                          cell.optimized_hit_rate});
+        }
+    maybeWriteSweepOutputs(table, "fig7");
     std::printf("Optimized dependency-aware fetch dominates in-order "
                 "issue (paper: ~20%% -> ~85%%); gains from smarter "
                 "fetch exceed gains from a larger cache.\n\n");

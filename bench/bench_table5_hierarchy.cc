@@ -6,6 +6,7 @@
 #include "common/table.hh"
 #include "cqla/hierarchy.hh"
 #include "cqla/hierarchy_sim.hh"
+#include "sweep/sweep.hh"
 
 using namespace qmh;
 
@@ -35,6 +36,25 @@ const PaperRow paper_rows[] = {
     {ecc::CodeKind::BaconShor913, 5, 1024, 5.49, 2.00, 4.99, 13.40,
      66.90},
 };
+
+/**
+ * Design-space grid around the paper's Table-5 operating points:
+ * 2 codes x 3 adder widths x 3 channel counts x 2 block counts x
+ * 3 level-1 fractions = 108 event-driven simulations.
+ */
+std::vector<cqla::HierarchySimConfig>
+table5Grid()
+{
+    sweep::HierarchyGrid grid;
+    grid.base.total_adders = 300;
+    grid.codes = {ecc::CodeKind::Steane713,
+                  ecc::CodeKind::BaconShor913};
+    grid.n_bits = {256, 512, 1024};
+    grid.parallel_transfers = {2, 5, 10};
+    grid.blocks = {49, 100};
+    grid.level1_fractions = {1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0};
+    return grid.expand();
+}
 
 void
 printTable5()
@@ -68,21 +88,20 @@ printTable5()
     }
     t.print(std::cout);
 
-    // Event-driven cross-check for the headline configuration.
-    cqla::HierarchySimConfig cfg;
-    cfg.code = ecc::CodeKind::BaconShor913;
-    cfg.n_bits = 1024;
-    cfg.blocks = 100;
-    cfg.parallel_transfers = 10;
-    cfg.level1_fraction = 2.0 / 3.0;
-    cfg.total_adders = 300;
-    const auto des = runHierarchySim(cfg, params);
-    std::printf("DES cross-check (BS, 1024, 10 ch, 300 adds): "
-                "makespan speedup %.2f, add-weighted mean speedup %.2f, "
-                "transfer-channel utilization %.2f, %llu events\n",
-                des.makespan_speedup, des.mean_adder_speedup,
-                des.transfer_utilization,
-                static_cast<unsigned long long>(des.events_executed));
+    // Event-driven design-space sweep across every core; the serial
+    // cross-check loop this replaces covered a single configuration.
+    const auto configs = table5Grid();
+    sweep::SweepRunner runner;
+    const auto points =
+        sweep::runHierarchySweep(runner, configs, params);
+
+    std::printf("\nDES design-space sweep: %zu points on %u threads; "
+                "top configurations by makespan speedup:\n",
+                points.size(), runner.threadCount());
+    sweep::printTopBySpeedup(std::cout, points, 5);
+
+    maybeWriteSweepOutputs(sweep::hierarchySweepTable(points),
+                           "table5");
     std::printf("Headline: ~8x performance (paper Table 5 Bacon-Shor "
                 "rows).\n\n");
 }
@@ -112,6 +131,29 @@ BM_HierarchyDes(benchmark::State &state)
         benchmark::DoNotOptimize(runHierarchySim(cfg, params));
 }
 BENCHMARK(BM_HierarchyDes);
+
+/**
+ * The full 108-point Table-5 grid at varying thread counts: the
+ * speedup of the 8-thread row over the 1-thread row is the sweep
+ * engine's wall-clock scaling (real time, not CPU time).
+ */
+void
+BM_HierarchySweep(benchmark::State &state)
+{
+    const auto params = iontrap::Params::future();
+    const auto configs = table5Grid();
+    const auto threads = static_cast<unsigned>(state.range(0));
+    sweep::SweepRunner runner({.threads = threads});
+    for (auto _ : state) {
+        const auto points =
+            sweep::runHierarchySweep(runner, configs, params);
+        benchmark::DoNotOptimize(points.data());
+    }
+    state.counters["points"] =
+        static_cast<double>(configs.size());
+}
+BENCHMARK(BM_HierarchySweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -9,8 +9,12 @@
 #define QMH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include <benchmark/benchmark.h>
+
+#include "sweep/emit.hh"
 
 /** Print the bench banner. */
 inline void
@@ -20,6 +24,27 @@ benchBanner(const char *artifact, const char *description)
     std::printf("%s - %s\n", artifact, description);
     std::printf("(model values computed by qmh; paper values in parentheses)\n");
     std::printf("==============================================================\n");
+}
+
+/**
+ * When QMH_SWEEP_OUT=<prefix> is set, write @p table to
+ * <prefix>_<artifact>.csv and .json (the shared emission protocol of
+ * the sweep-based benches).
+ */
+inline void
+maybeWriteSweepOutputs(const qmh::sweep::ResultTable &table,
+                       const char *artifact)
+{
+    const char *out = std::getenv("QMH_SWEEP_OUT");
+    if (!out)
+        return;
+    const std::string base = std::string(out) + "_" + artifact;
+    if (table.writeCsvFile(base + ".csv") &&
+        table.writeJsonFile(base + ".json"))
+        std::printf("sweep results written to %s.{csv,json}\n",
+                    base.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s.*\n", base.c_str());
 }
 
 /** Run the reproduction printer, then google-benchmark. */

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Scenario: explore the hierarchy design space on every core.
+ *
+ * Expands a grid of event-driven hierarchy simulations (code x adder
+ * width x transfer channels x block count x level-1 fraction), fans it
+ * across a worker pool with deterministic per-point seeding, ranks the
+ * configurations by makespan speedup, and optionally writes the full
+ * result set as CSV and JSON for downstream analysis.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sweep/sweep.hh"
+
+namespace {
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --threads N    worker threads (default: all cores)\n"
+        "  --points SIZE  grid size: small | full (default: full)\n"
+        "  --seed S       base seed for per-point RNG streams\n"
+        "  --out PREFIX   write PREFIX.csv and PREFIX.json\n"
+        "  --help         this message\n",
+        prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qmh;
+
+    unsigned threads = 0;
+    std::uint64_t seed = sweep::SweepOptions{}.base_seed;
+    std::string out_prefix;
+    bool small_grid = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(
+                std::strtoul(next_value("--threads"), nullptr, 10));
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next_value("--seed"), nullptr, 10);
+        } else if (arg == "--out") {
+            out_prefix = next_value("--out");
+        } else if (arg == "--points") {
+            const char *size = next_value("--points");
+            if (std::strcmp(size, "small") == 0) {
+                small_grid = true;
+            } else if (std::strcmp(size, "full") == 0) {
+                small_grid = false;
+            } else {
+                std::fprintf(stderr,
+                             "--points must be small or full, got %s\n",
+                             size);
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            printUsage(argv[0]);
+            return 1;
+        }
+    }
+
+    sweep::HierarchyGrid grid;
+    grid.base.total_adders = 300;
+    grid.codes = {ecc::CodeKind::Steane713,
+                  ecc::CodeKind::BaconShor913};
+    if (small_grid) {
+        grid.base.total_adders = 60;
+        grid.n_bits = {64, 128};
+        grid.parallel_transfers = {5, 10};
+        grid.blocks = {49};
+        grid.level1_fractions = {1.0 / 3.0, 2.0 / 3.0};
+    } else {
+        grid.n_bits = {256, 512, 1024};
+        grid.parallel_transfers = {2, 5, 10, 20};
+        grid.blocks = {25, 49, 100};
+        grid.level1_fractions = {0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0};
+    }
+    const auto configs = grid.expand();
+
+    sweep::SweepRunner runner({.threads = threads, .base_seed = seed});
+    const auto params = iontrap::Params::future();
+
+    std::printf("sweeping %zu hierarchy configurations on %u "
+                "threads (base seed %llu)...\n",
+                configs.size(), runner.threadCount(),
+                static_cast<unsigned long long>(seed));
+    const auto start = std::chrono::steady_clock::now();
+    const auto points =
+        sweep::runHierarchySweep(runner, configs, params);
+    const auto elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("done in %.3f s (%.1f points/s)\n\n", elapsed,
+                static_cast<double>(points.size()) / elapsed);
+
+    std::printf("top configurations by end-to-end makespan speedup:\n");
+    sweep::printTopBySpeedup(std::cout, points, 10);
+
+    if (!out_prefix.empty()) {
+        const auto table = sweep::hierarchySweepTable(points);
+        const bool csv_ok = table.writeCsvFile(out_prefix + ".csv");
+        const bool json_ok = table.writeJsonFile(out_prefix + ".json");
+        if (!csv_ok || !json_ok) {
+            std::fprintf(stderr, "failed to write %s.{csv,json}\n",
+                         out_prefix.c_str());
+            return 1;
+        }
+        std::printf("\nfull result set written to %s.csv and %s.json\n",
+                    out_prefix.c_str(), out_prefix.c_str());
+    }
+    return 0;
+}

@@ -75,8 +75,19 @@ Random::uniformRange(std::int64_t lo, std::int64_t hi)
 {
     if (lo > hi)
         qmh_panic("uniformRange: lo > hi");
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(uniformInt(span));
+    // hi - lo in signed arithmetic overflows (UB) whenever the span
+    // exceeds INT64_MAX, so compute it on the unsigned wrap-around
+    // representatives instead.
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                               static_cast<std::uint64_t>(lo);
+    if (span == ~std::uint64_t(0)) {
+        // Full 64-bit range: span + 1 would wrap to 0 and uniformInt
+        // would reject it, yet every 64-bit pattern is a valid sample.
+        return static_cast<std::int64_t>(next());
+    }
+    const std::uint64_t offset = uniformInt(span + 1);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     offset);
 }
 
 bool

@@ -1,0 +1,157 @@
+#include "emit.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace sweep {
+
+namespace {
+
+/** Shortest decimal form that parses back to the same double. */
+std::string
+formatDouble(double v)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), v);
+    if (ec != std::errc())
+        qmh_panic("formatDouble: to_chars failed");
+    return std::string(buffer, end);
+}
+
+/** CSV cell: quote and double embedded quotes when needed. */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** JSON string literal with the mandatory escapes. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+Cell::toString() const
+{
+    if (const auto *text = std::get_if<std::string>(&_value))
+        return *text;
+    if (const auto *real = std::get_if<double>(&_value))
+        return formatDouble(*real);
+    if (const auto *wide = std::get_if<std::uint64_t>(&_value))
+        return std::to_string(*wide);
+    return std::to_string(std::get<std::int64_t>(_value));
+}
+
+std::string
+Cell::toJson() const
+{
+    if (const auto *text = std::get_if<std::string>(&_value))
+        return jsonEscape(*text);
+    return toString();
+}
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : _columns(std::move(columns))
+{
+    if (_columns.empty())
+        qmh_panic("ResultTable needs at least one column");
+}
+
+void
+ResultTable::addRow(std::vector<Cell> row)
+{
+    if (row.size() != _columns.size())
+        qmh_panic("ResultTable row width ", row.size(),
+                  " != column count ", _columns.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+ResultTable::writeCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < _columns.size(); ++c)
+        os << (c ? "," : "") << csvEscape(_columns[c]);
+    os << '\n';
+    for (const auto &row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(row[c].toString());
+        os << '\n';
+    }
+}
+
+void
+ResultTable::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    for (std::size_t r = 0; r < _rows.size(); ++r) {
+        os << "  {";
+        for (std::size_t c = 0; c < _columns.size(); ++c) {
+            os << (c ? ", " : "") << jsonEscape(_columns[c]) << ": "
+               << _rows[r][c].toJson();
+        }
+        os << (r + 1 < _rows.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
+}
+
+bool
+ResultTable::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeCsv(os);
+    return static_cast<bool>(os);
+}
+
+bool
+ResultTable::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return static_cast<bool>(os);
+}
+
+} // namespace sweep
+} // namespace qmh

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Machine-readable sweep-result emission (CSV and JSON).
+ *
+ * The reproduction benches print paper-style ASCII tables for humans;
+ * this module emits the same sweep results in forms downstream tooling
+ * can parse: RFC-4180-style CSV and a JSON array of row objects.
+ * Numeric cells round-trip exactly (shortest representation that
+ * parses back to the same double).
+ */
+
+#ifndef QMH_SWEEP_EMIT_HH
+#define QMH_SWEEP_EMIT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qmh {
+namespace sweep {
+
+/** One table cell: text, real, or integer. */
+class Cell
+{
+  public:
+    Cell(std::string text) : _value(std::move(text)) {}
+    Cell(const char *text) : _value(std::string(text)) {}
+    Cell(double v) : _value(v) {}
+    Cell(std::int64_t v) : _value(v) {}
+    Cell(std::uint64_t v) : _value(v) {}
+    Cell(int v) : _value(static_cast<std::int64_t>(v)) {}
+    Cell(unsigned v) : _value(static_cast<std::uint64_t>(v)) {}
+
+    bool isText() const
+    {
+        return std::holds_alternative<std::string>(_value);
+    }
+
+    /** Unquoted rendering (CSV body, JSON number, or raw text). */
+    std::string toString() const;
+
+    /** JSON value: quoted+escaped for text, bare for numbers. */
+    std::string toJson() const;
+
+  private:
+    std::variant<std::string, double, std::int64_t, std::uint64_t>
+        _value;
+};
+
+/** Column-labelled result rows with CSV/JSON writers. */
+class ResultTable
+{
+  public:
+    explicit ResultTable(std::vector<std::string> columns);
+
+    /** Append one row; width must match the column count. */
+    void addRow(std::vector<Cell> row);
+
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _columns.size(); }
+
+    /** CSV with a header line; cells quoted when they need it. */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON array of {column: value} objects. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write CSV to @p path; returns false on I/O failure. */
+    bool writeCsvFile(const std::string &path) const;
+
+    /** Write JSON to @p path; returns false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> _columns;
+    std::vector<std::vector<Cell>> _rows;
+};
+
+} // namespace sweep
+} // namespace qmh
+
+#endif // QMH_SWEEP_EMIT_HH

@@ -1,0 +1,85 @@
+#include "thread_pool.hh"
+
+#include <utility>
+
+namespace qmh {
+namespace sweep {
+
+ThreadPool::ThreadPool(unsigned n_threads)
+{
+    if (n_threads == 0) {
+        n_threads = std::thread::hardware_concurrency();
+        if (n_threads == 0)
+            n_threads = 1;
+    }
+    _workers.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i)
+        _workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _work_ready.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+        ++_in_flight;
+    }
+    _work_ready.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _all_done.wait(lock, [this]() { return _in_flight == 0; });
+    if (_first_error) {
+        auto error = std::exchange(_first_error, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _work_ready.wait(lock, [this]() {
+                return _stopping || !_queue.empty();
+            });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(_mutex);
+            if (!_first_error)
+                _first_error = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            if (--_in_flight == 0)
+                _all_done.notify_all();
+        }
+    }
+}
+
+} // namespace sweep
+} // namespace qmh

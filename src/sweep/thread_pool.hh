@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-size worker pool for parameter sweeps.
+ *
+ * The pool owns N worker threads that drain a shared task queue. It is
+ * deliberately minimal: sweeps decompose into many independent
+ * simulation points, so a shared queue with dynamic self-scheduling
+ * (each worker pulls the next task when it goes idle) balances load
+ * without per-thread deques. Exceptions thrown by tasks are captured
+ * and rethrown from wait() on the submitting thread.
+ */
+
+#ifndef QMH_SWEEP_THREAD_POOL_HH
+#define QMH_SWEEP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qmh {
+namespace sweep {
+
+/** Shared-queue worker pool; tasks run in submission order. */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start @p n_threads workers. 0 means one per hardware thread
+     * (at least one).
+     */
+    explicit ThreadPool(unsigned n_threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task; runs as soon as a worker is idle. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished. If any task threw,
+     * the first captured exception is rethrown here (subsequent ones
+     * are dropped).
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex _mutex;
+    std::condition_variable _work_ready;
+    std::condition_variable _all_done;
+    std::deque<Task> _queue;
+    std::vector<std::thread> _workers;
+    std::exception_ptr _first_error;
+    std::size_t _in_flight = 0;
+    bool _stopping = false;
+};
+
+} // namespace sweep
+} // namespace qmh
+
+#endif // QMH_SWEEP_THREAD_POOL_HH

@@ -86,10 +86,11 @@ TEST(CacheSim, IssueOrderIsAValidTopologicalOrder)
                           -1);
     for (std::uint32_t i = 0; i < prog.size(); ++i) {
         for (const auto &q : prog[i].operands()) {
-            if (last[q.value()] >= 0)
+            if (last[q.value()] >= 0) {
                 EXPECT_LT(position[static_cast<std::size_t>(
                               last[q.value()])],
                           position[i]);
+            }
             last[q.value()] = static_cast<int>(i);
         }
     }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/random.hh"
 
 namespace qmh {
@@ -75,6 +77,55 @@ TEST(Random, UniformRangeInclusive)
     }
     EXPECT_TRUE(lo_seen);
     EXPECT_TRUE(hi_seen);
+}
+
+// Regression: the span of [lo, hi] used to be computed as hi - lo in
+// signed arithmetic, which is UB once the width exceeds INT64_MAX, and
+// the full 64-bit range wrapped the span to 0 and panicked inside
+// uniformInt.
+TEST(Random, UniformRangeHugeSpan)
+{
+    constexpr auto int64_min = std::numeric_limits<std::int64_t>::min();
+    constexpr auto int64_max = std::numeric_limits<std::int64_t>::max();
+    Random rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = rng.uniformRange(int64_min, 0);
+        ASSERT_GE(a, int64_min);
+        ASSERT_LE(a, 0);
+        const auto b = rng.uniformRange(-1, int64_max);
+        ASSERT_GE(b, -1);
+        const auto c = rng.uniformRange(int64_min + 1, int64_max - 1);
+        ASSERT_GT(c, int64_min);
+        ASSERT_LT(c, int64_max);
+    }
+}
+
+TEST(Random, UniformRangeFullRange)
+{
+    constexpr auto int64_min = std::numeric_limits<std::int64_t>::min();
+    constexpr auto int64_max = std::numeric_limits<std::int64_t>::max();
+    Random rng(31);
+    bool negative_seen = false, positive_seen = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformRange(int64_min, int64_max);
+        negative_seen |= v < 0;
+        positive_seen |= v > 0;
+    }
+    // Every 64-bit pattern is valid, so both halves must appear.
+    EXPECT_TRUE(negative_seen);
+    EXPECT_TRUE(positive_seen);
+    // The full-range path consumes exactly one raw draw per sample.
+    Random a(37), b(37);
+    const auto sampled = a.uniformRange(int64_min, int64_max);
+    EXPECT_EQ(sampled, static_cast<std::int64_t>(b.next()));
+}
+
+TEST(Random, UniformRangeDegenerate)
+{
+    Random rng(41);
+    EXPECT_EQ(rng.uniformRange(5, 5), 5);
+    constexpr auto int64_min = std::numeric_limits<std::int64_t>::min();
+    EXPECT_EQ(rng.uniformRange(int64_min, int64_min), int64_min);
 }
 
 TEST(Random, BernoulliEdgeCases)
