@@ -3,23 +3,15 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "api/experiment.hh"
+#include "api/grid.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "net/bandwidth.hh"
-#include "sweep/sweep.hh"
 
 using namespace qmh;
 
 namespace {
-
-/** Supply/demand at one superblock size. */
-struct Fig6bPoint
-{
-    unsigned blocks = 0;
-    double required_worst = 0.0;
-    double required_draper = 0.0;
-    double available = 0.0;
-};
 
 void
 printFig6b()
@@ -27,47 +19,31 @@ printFig6b()
     benchBanner("Figure 6(b)",
                 "bandwidth required vs available per compute "
                 "superblock");
-    const auto params = iontrap::Params::future();
-    const net::BandwidthModel model(ecc::Code::steane(), 2, params);
 
-    // Sweep superblock sizes 10..80 across the pool; the model object
-    // is immutable, so points share it freely.
+    // Superblock sizes 10..80 for both codes as one qmh::api spec
+    // grid (code slowest, so rows 0..7 are the Steane series).
+    api::SpecGrid grid;
+    grid.base = api::parseSpec("experiment=bandwidth").spec;
+    grid.axis("code", {"steane", "bacon-shor"});
+    grid.axis("blocks", {"10", "20", "30", "40", "50", "60", "70",
+                         "80"});
     sweep::SweepRunner runner;
-    const auto points =
-        runner.map(8, [&model](std::size_t i, Random &) {
-            Fig6bPoint point;
-            point.blocks = 10 * (static_cast<unsigned>(i) + 1);
-            point.required_worst =
-                model.requiredWorstCase(point.blocks);
-            point.required_draper = model.requiredDraper(point.blocks);
-            point.available =
-                model.availablePerSuperblock(point.blocks);
-            return point;
-        });
+    const auto table = api::runSpecSweep(runner, grid.expand());
 
-    AsciiTable t;
-    t.setHeader({"Blocks", "Required worst [q/s]",
-                 "Required Draper [q/s]", "Available [q/s]"});
-    for (const auto &point : points) {
-        t.addRow({std::to_string(point.blocks),
-                  AsciiTable::num(point.required_worst, 2),
-                  AsciiTable::num(point.required_draper, 2),
-                  AsciiTable::num(point.available, 2)});
-    }
-    t.print(std::cout);
+    auto steane_only = sweep::toAsciiTable(
+        table, 8, {"spec", "seed", "code", "level", "utilization",
+                   "crossover_blocks"});
+    steane_only.setCaption("Steane [[7,1,3]], level 2");
+    steane_only.print(std::cout);
 
-    sweep::ResultTable table({"blocks", "required_worst_qps",
-                              "required_draper_qps", "available_qps"});
-    for (const auto &point : points)
-        table.addRow({point.blocks, point.required_worst,
-                      point.required_draper, point.available});
-    maybeWriteSweepOutputs(table, "fig6b");
-
-    const net::BandwidthModel bs(ecc::Code::baconShor(), 2, params);
-    std::printf("Draper/available crossover: Steane %u blocks, "
-                "Bacon-Shor %u blocks (paper: 36, immaterial of "
+    const auto crossover_col = *table.findColumn("crossover_blocks");
+    std::printf("Draper/available crossover: Steane %s blocks, "
+                "Bacon-Shor %s blocks (paper: 36, immaterial of "
                 "code)\n\n",
-                model.crossoverBlocks(), bs.crossoverBlocks());
+                table.cell(0, crossover_col).toString().c_str(),
+                table.cell(8, crossover_col).toString().c_str());
+
+    maybeWriteSweepOutputs(table, "fig6b");
 }
 
 void

@@ -4,54 +4,41 @@
 #include <iostream>
 #include <iterator>
 
+#include "api/experiment.hh"
+#include "api/grid.hh"
+#include "api/workload.hh"
 #include "bench_util.hh"
 #include "cache/cache_sim.hh"
 #include "common/table.hh"
-#include "cqla/perf_model.hh"
 #include "gen/draper.hh"
-#include "sweep/sweep.hh"
 
 using namespace qmh;
 
 namespace {
 
-const int adder_widths[] = {64, 128, 256, 512, 1024};
-const double cache_multipliers[] = {1.0, 1.5, 2.0};
+const char *adder_widths[] = {"64", "128", "256", "512", "1024"};
+const char *cache_multipliers[] = {"1", "1.5", "2"};
+const char *policies[] = {"inorder", "optimized"};
 
-/** One generated workload: the adder program plus its cacheable set. */
-struct Workload
+/**
+ * The Fig. 7 design space as one qmh::api spec grid: adder width x
+ * cache multiplier x fetch policy, warm-started, data registers
+ * cacheable. Point order is (width slowest, policy fastest).
+ */
+std::vector<api::ExperimentSpec>
+fig7Grid()
 {
-    circuit::Program program;
-    std::vector<bool> cacheable;
-    unsigned pe = 0;
-};
-
-Workload
-makeWorkload(int n)
-{
-    Workload w;
-    gen::AdderLayout layout;
-    w.program = gen::draperAdder(n, true, &layout,
-                                 gen::UncomputeMode::CarriesLeftDirty);
-    // Cacheable set: the two data registers; carry/tree ancilla are
-    // compute-block-local scratch.
-    w.cacheable.assign(static_cast<std::size_t>(layout.total_qubits),
-                       false);
-    for (int i = 0; i < 2 * n; ++i)
-        w.cacheable[static_cast<std::size_t>(i)] = true;
-    w.pe = 9 * cqla::PerformanceModel::paperBlockCounts(n).second;
-    return w;
+    api::SpecGrid grid;
+    grid.base =
+        api::parseSpec("experiment=cache workload=draper warm=1")
+            .spec;
+    grid.axis("n", {std::begin(adder_widths),
+                    std::end(adder_widths)});
+    grid.axis("capacity_x", {std::begin(cache_multipliers),
+                             std::end(cache_multipliers)});
+    grid.axis("policy", {std::begin(policies), std::end(policies)});
+    return grid.expand();
 }
-
-/** Hit rates for one (adder, capacity) cell under both policies. */
-struct Fig7Cell
-{
-    int n = 0;
-    double multiplier = 0.0;
-    std::size_t capacity = 0;
-    double in_order_hit_rate = 0.0;
-    double optimized_hit_rate = 0.0;
-};
 
 void
 printFig7()
@@ -61,76 +48,36 @@ printFig7()
                 "size in {1, 1.5, 2} x PE");
 
     sweep::SweepRunner runner;
+    const auto table = api::runSpecSweep(runner, fig7Grid());
+    const auto rate_col = *table.findColumn("hit_rate");
 
-    // Stage 1: generate the adder workloads (one per width) in
-    // parallel; each is read-only afterwards.
-    const auto workloads = runner.map(
-        std::size(adder_widths), [](std::size_t i, Random &) {
-            return makeWorkload(adder_widths[i]);
-        });
-
-    // Stage 2: fan the (width x capacity) grid across the pool; each
-    // point runs both fetch policies on the shared immutable program.
-    const std::size_t n_cells =
-        std::size(adder_widths) * std::size(cache_multipliers);
-    const auto cells = runner.map(
-        n_cells, [&workloads](std::size_t i, Random &) {
-            const std::size_t wi = i / std::size(cache_multipliers);
-            const std::size_t mi = i % std::size(cache_multipliers);
-            const Workload &w = workloads[wi];
-            Fig7Cell cell;
-            cell.n = adder_widths[wi];
-            cell.multiplier = cache_multipliers[mi];
-            cell.capacity =
-                static_cast<std::size_t>(w.pe * cell.multiplier);
-            cell.in_order_hit_rate =
-                cache::simulateCache(w.program, cell.capacity,
-                                     cache::FetchPolicy::InOrder, true,
-                                     w.cacheable)
-                    .hitRate();
-            cell.optimized_hit_rate =
-                cache::simulateCache(
-                    w.program, cell.capacity,
-                    cache::FetchPolicy::OptimizedLookahead, true,
-                    w.cacheable)
-                    .hitRate();
-            return cell;
-        });
-
+    // Reshape the flat sweep into the paper's figure layout: one row
+    // per adder width, one column per cache size, io/opt side by side.
+    const std::size_t n_multipliers = std::size(cache_multipliers);
+    const std::size_t n_policies = std::size(policies);
     AsciiTable t;
     t.setHeader({"Adder", "PE", "Cache=PE io/opt",
                  "Cache=1.5PE io/opt", "Cache=2PE io/opt"});
     for (std::size_t wi = 0; wi < std::size(adder_widths); ++wi) {
+        const int n =
+            static_cast<int>(*api::parseInt(adder_widths[wi]));
         std::vector<std::string> row = {
-            std::to_string(adder_widths[wi]) + "-bit",
-            std::to_string(workloads[wi].pe)};
-        for (std::size_t mi = 0; mi < std::size(cache_multipliers);
-             ++mi) {
-            const auto &cell =
-                cells[wi * std::size(cache_multipliers) + mi];
-            row.push_back(
-                AsciiTable::num(100.0 * cell.in_order_hit_rate, 1) +
-                "% / " +
-                AsciiTable::num(100.0 * cell.optimized_hit_rate, 1) +
-                "%");
+            std::string(adder_widths[wi]) + "-bit",
+            std::to_string(api::adderPeQubits(n))};
+        for (std::size_t mi = 0; mi < n_multipliers; ++mi) {
+            const std::size_t base =
+                (wi * n_multipliers + mi) * n_policies;
+            const auto io =
+                *table.cell(base + 0, rate_col).asNumber();
+            const auto opt =
+                *table.cell(base + 1, rate_col).asNumber();
+            row.push_back(AsciiTable::num(100.0 * io, 1) + "% / " +
+                          AsciiTable::num(100.0 * opt, 1) + "%");
         }
         t.addRow(row);
     }
     t.print(std::cout);
 
-    sweep::ResultTable table({"adder_bits", "pe", "capacity",
-                              "multiplier", "in_order_hit_rate",
-                              "optimized_hit_rate"});
-    for (std::size_t wi = 0; wi < std::size(adder_widths); ++wi)
-        for (std::size_t mi = 0; mi < std::size(cache_multipliers);
-             ++mi) {
-            const auto &cell =
-                cells[wi * std::size(cache_multipliers) + mi];
-            table.addRow({cell.n, workloads[wi].pe,
-                          static_cast<std::uint64_t>(cell.capacity),
-                          cell.multiplier, cell.in_order_hit_rate,
-                          cell.optimized_hit_rate});
-        }
     maybeWriteSweepOutputs(table, "fig7");
     std::printf("Optimized dependency-aware fetch dominates in-order "
                 "issue (paper: ~20%% -> ~85%%); gains from smarter "

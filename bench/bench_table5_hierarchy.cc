@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "api/experiment.hh"
+#include "api/grid.hh"
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "cqla/hierarchy.hh"
@@ -40,19 +42,20 @@ const PaperRow paper_rows[] = {
 /**
  * Design-space grid around the paper's Table-5 operating points:
  * 2 codes x 3 adder widths x 3 channel counts x 2 block counts x
- * 3 level-1 fractions = 108 event-driven simulations.
+ * 3 level-1 fractions = 108 event-driven simulations, expressed as a
+ * generic qmh::api spec grid.
  */
-std::vector<cqla::HierarchySimConfig>
+std::vector<api::ExperimentSpec>
 table5Grid()
 {
-    sweep::HierarchyGrid grid;
-    grid.base.total_adders = 300;
-    grid.codes = {ecc::CodeKind::Steane713,
-                  ecc::CodeKind::BaconShor913};
-    grid.n_bits = {256, 512, 1024};
-    grid.parallel_transfers = {2, 5, 10};
-    grid.blocks = {49, 100};
-    grid.level1_fractions = {1.0 / 3.0, 1.0 / 2.0, 2.0 / 3.0};
+    api::SpecGrid grid;
+    grid.base =
+        api::parseSpec("experiment=hierarchy adders=300").spec;
+    grid.axis("code", {"steane", "bacon-shor"});
+    grid.axis("n", {"256", "512", "1024"});
+    grid.axis("transfers", {"2", "5", "10"});
+    grid.axis("blocks", {"49", "100"});
+    grid.axis("l1_fraction", {"0.333", "0.5", "0.666"});
     return grid.expand();
 }
 
@@ -88,20 +91,21 @@ printTable5()
     }
     t.print(std::cout);
 
-    // Event-driven design-space sweep across every core; the serial
-    // cross-check loop this replaces covered a single configuration.
-    const auto configs = table5Grid();
+    // Event-driven design-space sweep across every core, routed
+    // through the qmh::api facade (one spec grid, one sweep call).
+    const auto specs = table5Grid();
     sweep::SweepRunner runner;
-    const auto points =
-        sweep::runHierarchySweep(runner, configs, params);
+    auto table = api::runSpecSweep(runner, specs);
 
     std::printf("\nDES design-space sweep: %zu points on %u threads; "
                 "top configurations by makespan speedup:\n",
-                points.size(), runner.threadCount());
-    sweep::printTopBySpeedup(std::cout, points, 5);
+                table.rows(), runner.threadCount());
+    table.sortRowsByColumnDesc(
+        *table.findColumn("makespan_speedup"));
+    sweep::toAsciiTable(table, 5, {"spec", "seed"})
+        .print(std::cout);
 
-    maybeWriteSweepOutputs(sweep::hierarchySweepTable(points),
-                           "table5");
+    maybeWriteSweepOutputs(table, "table5");
     std::printf("Headline: ~8x performance (paper Table 5 Bacon-Shor "
                 "rows).\n\n");
 }
@@ -140,17 +144,15 @@ BENCHMARK(BM_HierarchyDes);
 void
 BM_HierarchySweep(benchmark::State &state)
 {
-    const auto params = iontrap::Params::future();
-    const auto configs = table5Grid();
+    const auto specs = table5Grid();
     const auto threads = static_cast<unsigned>(state.range(0));
     sweep::SweepRunner runner({.threads = threads});
     for (auto _ : state) {
-        const auto points =
-            sweep::runHierarchySweep(runner, configs, params);
-        benchmark::DoNotOptimize(points.data());
+        const auto table = api::runSpecSweep(runner, specs);
+        benchmark::DoNotOptimize(table.rows());
     }
     state.counters["points"] =
-        static_cast<double>(configs.size());
+        static_cast<double>(specs.size());
 }
 BENCHMARK(BM_HierarchySweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime()->Unit(benchmark::kMillisecond);

@@ -2,17 +2,21 @@
  * @file
  * Scenario: pick the best CQLA configuration for a problem size.
  *
- * Sweeps compute-block counts, evaluates area/speedup/gain product for
- * both codes, reports the optimal superblock size from the bandwidth
- * model, and suggests the configuration with the best gain product.
+ * Sweeps compute-block counts with the analytic area/performance
+ * models, then drives the qmh::api facade: a bandwidth experiment for
+ * the optimal superblock size and a hierarchy-DES SpecGrid over
+ * (code x level-1 fraction) at the winning block count to cross-check
+ * the analytic pick with the event-driven simulator.
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <iostream>
+#include <string>
 
+#include "api/experiment.hh"
+#include "api/grid.hh"
 #include "cqla/area_model.hh"
 #include "cqla/hierarchy.hh"
-#include "net/bandwidth.hh"
 
 int
 main(int argc, char **argv)
@@ -20,8 +24,16 @@ main(int argc, char **argv)
     using namespace qmh;
 
     int n = 512;
-    if (argc > 1)
-        n = std::atoi(argv[1]);
+    if (argc > 1) {
+        // Strict parse: garbage is an error, not silently zero.
+        const auto parsed = api::parseInt(argv[1]);
+        if (!parsed || *parsed < 32 || *parsed > 4096) {
+            std::fprintf(stderr, "usage: %s [bits 32..4096]\n",
+                         argv[0]);
+            return 1;
+        }
+        n = static_cast<int>(*parsed);
+    }
 
     const auto params = iontrap::Params::future();
     cqla::PerformanceModel perf(params);
@@ -50,14 +62,44 @@ main(int argc, char **argv)
             best_blocks = b;
         }
     }
-
-    const net::BandwidthModel bw(ecc::Code::baconShor(), 2, params);
     std::printf("\nbest gain product: %.1f at %u blocks (Bacon-Shor)\n",
                 best_gp, best_blocks);
+
+    // Superblock sizing through the facade (one bandwidth spec).
+    const auto bw_spec =
+        api::parseSpec("experiment=bandwidth code=bacon-shor").spec;
+    const auto bw = api::makeExperiment(bw_spec);
+    Random rng(1);
+    const auto bw_row = bw->run(rng);
+    const auto crossover_col = [&bw]() {
+        const auto columns = bw->columns();
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            if (columns[c] == "crossover_blocks")
+                return c;
+        return std::size_t(0);
+    }();
+    const auto crossover = static_cast<unsigned>(
+        bw_row[crossover_col].asNumber().value_or(1.0));
     std::printf("optimal superblock size from perimeter bandwidth: %u "
                 "blocks => arrange %u blocks as %u superblock(s)\n",
-                bw.crossoverBlocks(), best_blocks,
-                (best_blocks + bw.crossoverBlocks() - 1) /
-                    bw.crossoverBlocks());
+                crossover, best_blocks,
+                (best_blocks + crossover - 1) / crossover);
+
+    // Cross-check the pick with the event-driven hierarchy simulator:
+    // sweep code x level-1 fraction at the winning block count.
+    api::SpecGrid grid;
+    grid.base = api::parseSpec("experiment=hierarchy adders=120 n=" +
+                               std::to_string(std::min(n, 1024)) +
+                               " blocks=" +
+                               std::to_string(best_blocks))
+                    .spec;
+    grid.axis("code", {"steane", "bacon-shor"});
+    grid.axis("l1_fraction", {"0.25", "0.33", "0.5", "0.66"});
+    auto table = api::runSpecSweep(grid.expand());
+    const auto speedup_col = table.findColumn("mean_adder_speedup");
+    table.sortRowsByColumnDesc(*speedup_col);
+    std::printf("\nevent-driven cross-check at %u blocks (top adder "
+                "speedups):\n", best_blocks);
+    sweep::toAsciiTable(table, 4, {"spec", "seed"}).print(std::cout);
     return 0;
 }

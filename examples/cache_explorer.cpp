@@ -2,63 +2,72 @@
  * @file
  * Scenario: explore the quantum cache design space (paper Fig. 7).
  *
- * Sweeps fetch policy, cache capacity and warm/cold start for a
- * chosen adder width, printing hit rates and transfer traffic so a
- * designer can size the level-1 cache and transfer network.
+ * Builds one qmh::api cache ExperimentSpec, sweeps fetch policy,
+ * capacity and warm/cold start over it with a SpecGrid, and prints
+ * hit rates and transfer traffic so a designer can size the level-1
+ * cache and transfer network. Extra `key=value` arguments override
+ * the base spec (e.g. `workload=qft`, `mask_data=0`).
  */
 
 #include <cstdio>
-#include <cstdlib>
+#include <iostream>
+#include <string>
 #include <vector>
 
-#include "cache/cache_sim.hh"
-#include "gen/draper.hh"
+#include "api/experiment.hh"
+#include "api/grid.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace qmh;
 
-    int n = 256;
-    if (argc > 1)
-        n = std::atoi(argv[1]);
-    if (n < 8 || n > 4096) {
-        std::fprintf(stderr, "usage: %s [adder-width 8..4096]\n",
-                     argv[0]);
+    std::vector<std::string> overrides = {"experiment=cache",
+                                          "workload=draper"};
+    if (argc > 1) {
+        // First positional argument: the adder width (strict parse —
+        // garbage is an error, not silently zero).
+        const auto n = api::parseInt(argv[1]);
+        if (!n || *n < 8 || *n > 4096) {
+            std::fprintf(stderr,
+                         "usage: %s [adder-width 8..4096] "
+                         "[key=value ...]\n",
+                         argv[0]);
+            return 1;
+        }
+        overrides.push_back("n=" + std::to_string(*n));
+    } else {
+        overrides.push_back("n=256");
+    }
+    for (int i = 2; i < argc; ++i)
+        overrides.emplace_back(argv[i]);
+
+    const auto parsed = api::parseSpecTokens(overrides);
+    if (!parsed.ok()) {
+        for (const auto &error : parsed.errors)
+            std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
 
-    gen::AdderLayout layout;
-    const auto adder = gen::draperAdder(
-        n, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
-    std::vector<bool> cacheable(
-        static_cast<std::size_t>(layout.total_qubits), false);
-    for (int i = 0; i < 2 * n; ++i)
-        cacheable[static_cast<std::size_t>(i)] = true;
+    api::SpecGrid grid;
+    grid.base = parsed.spec;
+    grid.axis("capacity_x", {"0.25", "0.5", "0.75", "1"});
+    grid.axis("policy", {"inorder", "optimized"});
+    grid.axis("warm", {"0", "1"});
 
-    std::printf("=== cache design space, %d-bit adder "
-                "(%zu instructions, %d data qubits) ===\n",
-                n, adder.size(), 2 * n);
-    std::printf("%10s %12s %6s %10s %10s %10s\n", "capacity", "policy",
-                "warm", "hit-rate", "misses", "evictions");
-
-    for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
-        const auto capacity = static_cast<std::size_t>(2 * n * frac);
-        for (const auto policy :
-             {cache::FetchPolicy::InOrder,
-              cache::FetchPolicy::OptimizedLookahead}) {
-            for (const bool warm : {false, true}) {
-                const auto r = cache::simulateCache(
-                    adder, capacity, policy, warm, cacheable);
-                std::printf("%10zu %12s %6s %9.1f%% %10llu %10llu\n",
-                            capacity, cache::fetchPolicyName(policy),
-                            warm ? "yes" : "no", 100.0 * r.hitRate(),
-                            static_cast<unsigned long long>(r.misses),
-                            static_cast<unsigned long long>(
-                                r.evictions));
-            }
-        }
+    const auto specs = grid.expand();
+    const auto errors = api::makeExperiment(specs.front())->validate();
+    if (!errors.empty()) {
+        for (const auto &error : errors)
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
     }
+
+    std::printf("=== cache design space: %s (%zu points) ===\n",
+                api::printSpec(parsed.spec).c_str(), specs.size());
+    auto table = api::runSpecSweep(specs);
+    sweep::toAsciiTable(table, table.rows(), {"spec", "seed"})
+        .print(std::cout);
     std::printf("\nEach miss is one code transfer between memory (L2) "
                 "and cache (L1);\nsize the transfer network for the "
                 "optimized-warm miss rate.\n");

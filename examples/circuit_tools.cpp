@@ -2,42 +2,66 @@
  * @file
  * Scenario: work with the assembly-like circuit format.
  *
- * Generates a circuit (adder or QFT), writes it in the paper's
- * instruction format, parses it back, and prints gate statistics plus
- * the parallelism profile the scheduler extracts — the same pipeline
- * the paper's cache simulator consumes.
+ * Generates a circuit from the qmh::api workload registry (any
+ * registered generator: draper, ripple, modexp, qft, random), writes
+ * it in the paper's instruction format, parses it back, and prints
+ * gate statistics plus the parallelism profile the scheduler extracts
+ * — the same pipeline the paper's cache simulator consumes.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include "api/workload.hh"
 #include "circuit/dag.hh"
 #include "circuit/text_format.hh"
-#include "gen/draper.hh"
-#include "gen/qft.hh"
 #include "sched/scheduler.hh"
+
+namespace {
+
+void
+printUsage(const char *prog)
+{
+    std::fprintf(stderr, "usage: %s [workload] [width] [file]\n",
+                 prog);
+    std::fprintf(stderr, "workloads:\n");
+    for (const auto &generator : qmh::api::workloadRegistry())
+        std::fprintf(stderr, "  %-8s %s\n", generator.name.c_str(),
+                     generator.description.c_str());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace qmh;
 
-    const char *kind = argc > 1 ? argv[1] : "adder";
-    const int n = argc > 2 ? std::atoi(argv[2]) : 32;
+    const char *kind = argc > 1 ? argv[1] : "draper";
     const char *path = argc > 3 ? argv[3] : nullptr;
 
-    circuit::Program prog;
-    if (std::strcmp(kind, "adder") == 0)
-        prog = gen::draperAdder(n);
-    else if (std::strcmp(kind, "qft") == 0)
-        prog = gen::qft(n, true);
-    else {
-        std::fprintf(stderr, "usage: %s [adder|qft] [width] [file]\n",
-                     argv[0]);
+    api::ExperimentSpec spec;
+    if (!api::specSet(spec, "workload", kind).empty() ||
+        !api::findWorkload(spec.workload)) {
+        std::fprintf(stderr, "unknown workload: %s\n", kind);
+        printUsage(argv[0]);
         return 1;
     }
+    spec.n = 32;
+    if (argc > 2) {
+        // Strict width parsing: garbage is an error, not zero.
+        const auto n = api::parseInt(argv[2]);
+        if (!n || *n < 1 || *n > 4096) {
+            std::fprintf(stderr, "bad width: %s\n", argv[2]);
+            printUsage(argv[0]);
+            return 1;
+        }
+        spec.n = static_cast<int>(*n);
+    }
+
+    Random rng(1);
+    const auto prog = api::buildWorkload(spec, rng).program;
 
     const auto text = circuit::writeText(prog);
     if (path) {

@@ -9,8 +9,8 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 
+#include "api/experiment.hh"
 #include "common/units.hh"
 #include "cqla/apps.hh"
 #include "cqla/area_model.hh"
@@ -23,8 +23,11 @@ main(int argc, char **argv)
     using namespace qmh;
 
     int n = 1024;
-    if (argc > 1)
-        n = std::atoi(argv[1]);
+    if (argc > 1) {
+        // Strict parse: garbage is an error, not silently zero.
+        const auto parsed = api::parseInt(argv[1]);
+        n = parsed ? static_cast<int>(*parsed) : -1;
+    }
     if (n != 32 && n != 64 && n != 128 && n != 256 && n != 512 &&
         n != 1024) {
         std::fprintf(stderr,
@@ -80,6 +83,31 @@ main(int argc, char **argv)
         const auto q = qft.totalTimes(n);
         std::printf("QFT: %.0f s computation, %.0f s communication\n\n",
                     q.computation_s, q.communication_s);
+
+        // Event-driven cross-check through the facade: the same
+        // machine as one hierarchy ExperimentSpec.
+        api::ExperimentSpec spec;
+        spec.kind = api::ExperimentKind::Hierarchy;
+        spec.code = kind;
+        spec.n = n;
+        spec.blocks = blocks.second;
+        spec.adders = 120;
+        const auto experiment = api::makeExperiment(spec);
+        Random rng(1);
+        const auto cells = experiment->run(rng);
+        const auto columns = experiment->columns();
+        double makespan_speedup = 0.0;
+        double adder_speedup = 0.0;
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (columns[c] == "makespan_speedup")
+                makespan_speedup = cells[c].asNumber().value_or(0.0);
+            if (columns[c] == "mean_adder_speedup")
+                adder_speedup = cells[c].asNumber().value_or(0.0);
+        }
+        std::printf("DES cross-check (%s): makespan speedup %.2f, "
+                    "adder speedup %.2f\n\n",
+                    api::printSpec(spec).c_str(), makespan_speedup,
+                    adder_speedup);
     }
     return 0;
 }

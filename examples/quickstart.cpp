@@ -6,10 +6,12 @@
  *  2. Prove it actually adds, with the reversible-logic simulator.
  *  3. Schedule it onto a CQLA with a limited number of compute blocks.
  *  4. Ask the architecture models for the paper's headline numbers.
+ *  5. Run whole experiments as one-line qmh::api specs.
  */
 
 #include <cstdio>
 
+#include "api/experiment.hh"
 #include "circuit/reversible.hh"
 #include "cqla/hierarchy.hh"
 #include "gen/draper.hh"
@@ -54,5 +56,28 @@ main()
     std::printf("CQLA @ 1024-bit factoring (Bacon-Shor): %.1fx less "
                 "area, %.1fx faster additions, gain product %.0f\n",
                 row.area_reduced, row.adder_speedup, row.gain_product);
+
+    // 5. Any simulator in the repo, as a one-line experiment spec.
+    for (const char *text :
+         {"experiment=cache workload=draper n=64 warm=1",
+          "experiment=montecarlo code=bacon-shor level=1 p0=0.001 "
+          "trials=20000"}) {
+        const auto parsed = api::parseSpec(text);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "bad spec: %s\n",
+                         parsed.errors.front().c_str());
+            return 1;
+        }
+        const auto experiment = api::makeExperiment(parsed.spec);
+        Random rng(1);
+        const auto cells = experiment->run(rng);
+        const auto columns = experiment->columns();
+        std::printf("%s ->", text);
+        // Skip the echo of the spec itself (column 0).
+        for (std::size_t c = 1; c < columns.size(); ++c)
+            std::printf(" %s=%s", columns[c].c_str(),
+                        cells[c].toString().c_str());
+        std::printf("\n");
+    }
     return 0;
 }

@@ -1,22 +1,25 @@
 /**
  * @file
- * Scenario: explore the hierarchy design space on every core.
+ * Scenario: sweep any experiment's design space on every core.
  *
- * Expands a grid of event-driven hierarchy simulations (code x adder
- * width x transfer channels x block count x level-1 fraction), fans it
- * across a worker pool with deterministic per-point seeding, ranks the
- * configurations by makespan speedup, and optionally writes the full
+ * Builds a base qmh::api::ExperimentSpec from `key=value` arguments,
+ * expands `--axis key=v1,v2,...` overrides into a SpecGrid (any spec
+ * key is sweepable — including the experiment kind's own knobs), fans
+ * the points across a worker pool with deterministic per-point
+ * seeding, ranks the result rows, and optionally writes the full
  * result set as CSV and JSON for downstream analysis.
  */
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "sweep/sweep.hh"
+#include "api/experiment.hh"
+#include "api/grid.hh"
+#include "api/workload.hh"
 
 namespace {
 
@@ -24,13 +27,38 @@ void
 printUsage(const char *prog)
 {
     std::printf(
-        "usage: %s [options]\n"
-        "  --threads N    worker threads (default: all cores)\n"
-        "  --points SIZE  grid size: small | full (default: full)\n"
-        "  --seed S       base seed for per-point RNG streams\n"
-        "  --out PREFIX   write PREFIX.csv and PREFIX.json\n"
-        "  --help         this message\n",
+        "usage: %s [options] [key=value ...]\n"
+        "  key=value        override the base spec "
+        "(default: experiment=hierarchy)\n"
+        "  --axis key=v1,v2 sweep axis; repeatable, any spec key\n"
+        "  --rank COLUMN    sort rows by COLUMN descending\n"
+        "  --threads N      worker threads (default: all cores)\n"
+        "  --points SIZE    built-in hierarchy grid: small | full\n"
+        "                   (used when no --axis is given)\n"
+        "  --seed S         base seed for per-point RNG streams\n"
+        "  --out PREFIX     write PREFIX.csv and PREFIX.json\n"
+        "  --list-keys      print every spec key\n"
+        "  --list-workloads print the workload registry\n"
+        "  --help           this message\n",
         prog);
+}
+
+/** The PR-1 hierarchy demo grids, now expressed as spec axes. */
+void
+addDefaultHierarchyAxes(qmh::api::SpecGrid &grid, bool small_grid)
+{
+    grid.axis("code", {"steane", "bacon-shor"});
+    if (small_grid) {
+        grid.base.adders = 60;
+        grid.axis("n", {"64", "128"});
+        grid.axis("transfers", {"5", "10"});
+        grid.axis("l1_fraction", {"0.333", "0.666"});
+    } else {
+        grid.axis("n", {"256", "512", "1024"});
+        grid.axis("transfers", {"2", "5", "10", "20"});
+        grid.axis("blocks", {"25", "49", "100"});
+        grid.axis("l1_fraction", {"0.25", "0.333", "0.5", "0.666"});
+    }
 }
 
 } // namespace
@@ -43,7 +71,10 @@ main(int argc, char **argv)
     unsigned threads = 0;
     std::uint64_t seed = sweep::SweepOptions{}.base_seed;
     std::string out_prefix;
+    std::string rank_column;
     bool small_grid = false;
+    std::vector<std::string> spec_tokens = {"experiment=hierarchy"};
+    std::vector<std::string> axis_args;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -57,13 +88,37 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             return 0;
+        } else if (arg == "--list-keys") {
+            for (const auto &key : api::specKeys())
+                std::printf("  %-14s %s\n", key.c_str(),
+                            api::specKeyHelp(key));
+            return 0;
+        } else if (arg == "--list-workloads") {
+            for (const auto &generator : api::workloadRegistry())
+                std::printf("  %-8s %s\n", generator.name.c_str(),
+                            generator.description.c_str());
+            return 0;
         } else if (arg == "--threads") {
-            threads = static_cast<unsigned>(
-                std::strtoul(next_value("--threads"), nullptr, 10));
+            const auto parsed =
+                api::parseUInt(next_value("--threads"));
+            if (!parsed || *parsed > 4096) {
+                std::fprintf(stderr, "--threads: bad value\n");
+                return 1;
+            }
+            threads = static_cast<unsigned>(*parsed);
         } else if (arg == "--seed") {
-            seed = std::strtoull(next_value("--seed"), nullptr, 10);
+            const auto parsed = api::parseUInt(next_value("--seed"));
+            if (!parsed) {
+                std::fprintf(stderr, "--seed: bad value\n");
+                return 1;
+            }
+            seed = *parsed;
         } else if (arg == "--out") {
             out_prefix = next_value("--out");
+        } else if (arg == "--rank") {
+            rank_column = next_value("--rank");
+        } else if (arg == "--axis") {
+            axis_args.emplace_back(next_value("--axis"));
         } else if (arg == "--points") {
             const char *size = next_value("--points");
             if (std::strcmp(size, "small") == 0) {
@@ -76,6 +131,9 @@ main(int argc, char **argv)
                              size);
                 return 1;
             }
+        } else if (arg.find('=') != std::string::npos &&
+                   arg.rfind("--", 0) != 0) {
+            spec_tokens.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             printUsage(argv[0]);
@@ -83,46 +141,83 @@ main(int argc, char **argv)
         }
     }
 
-    sweep::HierarchyGrid grid;
-    grid.base.total_adders = 300;
-    grid.codes = {ecc::CodeKind::Steane713,
-                  ecc::CodeKind::BaconShor913};
-    if (small_grid) {
-        grid.base.total_adders = 60;
-        grid.n_bits = {64, 128};
-        grid.parallel_transfers = {5, 10};
-        grid.blocks = {49};
-        grid.level1_fractions = {1.0 / 3.0, 2.0 / 3.0};
-    } else {
-        grid.n_bits = {256, 512, 1024};
-        grid.parallel_transfers = {2, 5, 10, 20};
-        grid.blocks = {25, 49, 100};
-        grid.level1_fractions = {0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0};
+    const auto parsed = api::parseSpecTokens(spec_tokens);
+    if (!parsed.ok()) {
+        for (const auto &error : parsed.errors)
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
     }
-    const auto configs = grid.expand();
+
+    api::SpecGrid grid;
+    grid.base = parsed.spec;
+    for (const auto &axis : axis_args) {
+        const auto error = grid.addAxis(axis);
+        if (!error.empty()) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+    }
+    if (grid.axes.empty() &&
+        grid.base.kind == api::ExperimentKind::Hierarchy)
+        addDefaultHierarchyAxes(grid, small_grid);
+
+    const auto specs = grid.expand();
+    // Validate every expanded point, not just the first: an axis can
+    // put only its later values out of range (or even sweep the
+    // experiment kind itself), and runSpecSweep treats invalid specs
+    // as internal bugs (panic), not user errors.
+    for (const auto &spec : specs) {
+        const auto errors = api::makeExperiment(spec)->validate();
+        if (!errors.empty()) {
+            for (const auto &error : errors)
+                std::fprintf(stderr, "error: %s (in %s)\n",
+                             error.c_str(),
+                             api::printSpec(spec).c_str());
+            return 1;
+        }
+        if (spec.kind != grid.base.kind) {
+            std::fprintf(stderr,
+                         "error: cannot sweep 'experiment' — one "
+                         "sweep emits one table\n");
+            return 1;
+        }
+    }
 
     sweep::SweepRunner runner({.threads = threads, .base_seed = seed});
-    const auto params = iontrap::Params::future();
-
-    std::printf("sweeping %zu hierarchy configurations on %u "
-                "threads (base seed %llu)...\n",
-                configs.size(), runner.threadCount(),
+    std::printf("sweeping %zu %s configurations on %u threads "
+                "(base seed %llu)...\n",
+                specs.size(), api::kindName(grid.base.kind),
+                runner.threadCount(),
                 static_cast<unsigned long long>(seed));
     const auto start = std::chrono::steady_clock::now();
-    const auto points =
-        sweep::runHierarchySweep(runner, configs, params);
+    auto table = api::runSpecSweep(runner, specs);
     const auto elapsed =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
     std::printf("done in %.3f s (%.1f points/s)\n\n", elapsed,
-                static_cast<double>(points.size()) / elapsed);
+                static_cast<double>(table.rows()) / elapsed);
 
-    std::printf("top configurations by end-to-end makespan speedup:\n");
-    sweep::printTopBySpeedup(std::cout, points, 10);
+    if (rank_column.empty() &&
+        grid.base.kind == api::ExperimentKind::Hierarchy)
+        rank_column = "makespan_speedup";
+    if (!rank_column.empty()) {
+        const auto col = table.findColumn(rank_column);
+        if (!col) {
+            std::fprintf(stderr,
+                         "--rank: no column '%s' in this experiment\n",
+                         rank_column.c_str());
+            return 1;
+        }
+        table.sortRowsByColumnDesc(*col);
+        std::printf("top rows by %s:\n", rank_column.c_str());
+    } else {
+        std::printf("first rows:\n");
+    }
+    sweep::toAsciiTable(table, 10, {"spec", "seed"})
+        .print(std::cout);
 
     if (!out_prefix.empty()) {
-        const auto table = sweep::hierarchySweepTable(points);
         const bool csv_ok = table.writeCsvFile(out_prefix + ".csv");
         const bool json_ok = table.writeJsonFile(out_prefix + ".json");
         if (!csv_ok || !json_ok) {

@@ -1,0 +1,328 @@
+#include "experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "api/workload.hh"
+#include "common/logging.hh"
+#include "cqla/hierarchy_sim.hh"
+#include "ecc/montecarlo.hh"
+#include "net/bandwidth.hh"
+
+namespace qmh {
+namespace api {
+
+namespace {
+
+void
+checkRange(std::vector<std::string> &errors, bool ok,
+           const char *message)
+{
+    if (!ok)
+        errors.emplace_back(message);
+}
+
+/** Event-driven CQLA memory-hierarchy simulation (Table 5). */
+class HierarchyExperiment final : public Experiment
+{
+  public:
+    explicit HierarchyExperiment(ExperimentSpec spec)
+        : Experiment(std::move(spec))
+    {
+    }
+
+    std::string name() const override { return "hierarchy"; }
+
+    std::vector<std::string> validate() const override
+    {
+        std::vector<std::string> errors;
+        checkRange(errors, _spec.n >= 8 && _spec.n <= 4096,
+                   "hierarchy: n must be in [8, 4096]");
+        checkRange(errors, _spec.adders >= 1,
+                   "hierarchy: adders must be >= 1");
+        checkRange(errors,
+                   _spec.l1_fraction > 0.0 && _spec.l1_fraction <= 1.0,
+                   "hierarchy: l1_fraction must be in (0, 1]");
+        checkRange(errors,
+                   _spec.chain_fraction >= 0.0 &&
+                       _spec.chain_fraction <= 1.0,
+                   "hierarchy: chain_fraction must be in [0, 1]");
+        checkRange(errors,
+                   _spec.workload == "draper" ||
+                       _spec.workload == "modexp",
+                   "hierarchy: workload must be draper or modexp "
+                   "(an adder stream)");
+        return errors;
+    }
+
+    std::vector<std::string> columns() const override
+    {
+        return {"spec", "code", "n", "transfers", "blocks",
+                "l1_fraction", "makespan_s", "baseline_s",
+                "makespan_speedup", "mean_adder_speedup",
+                "level1_adds", "level2_adds", "transfer_utilization",
+                "events_executed"};
+    }
+
+    std::vector<sweep::Cell> run(Random &) const override
+    {
+        cqla::HierarchySimConfig config;
+        config.code = _spec.code;
+        config.n_bits = _spec.n;
+        config.parallel_transfers = _spec.transfers;
+        config.blocks = _spec.blocks;
+        config.total_adders = _spec.adders;
+        config.level1_fraction = _spec.l1_fraction;
+        config.chain_dependent_fraction = _spec.chain_fraction;
+        const auto result =
+            cqla::runHierarchySim(config, _spec.params());
+        return {printSpec(_spec),
+                ecc::Code::byKind(_spec.code).name(),
+                _spec.n,
+                _spec.transfers,
+                _spec.blocks,
+                _spec.l1_fraction,
+                result.makespan_s,
+                result.baseline_s,
+                result.makespan_speedup,
+                result.mean_adder_speedup,
+                result.level1_adds,
+                result.level2_adds,
+                result.transfer_utilization,
+                result.events_executed};
+    }
+};
+
+/** Quantum cache simulation over a registry workload (Fig. 7). */
+class CacheExperiment final : public Experiment
+{
+  public:
+    explicit CacheExperiment(ExperimentSpec spec)
+        : Experiment(std::move(spec))
+    {
+    }
+
+    std::string name() const override { return "cache"; }
+
+    std::vector<std::string> validate() const override
+    {
+        std::vector<std::string> errors;
+        if (!findWorkload(_spec.workload))
+            errors.push_back("cache: unknown workload '" +
+                             _spec.workload + "'");
+        checkRange(errors, _spec.n >= 2 && _spec.n <= 4096,
+                   "cache: n must be in [2, 4096]");
+        checkRange(errors, _spec.capacity_x > 0.0,
+                   "cache: capacity_x must be > 0");
+        checkRange(errors,
+                   _spec.capacity == 0 || _spec.capacity <= 1000000,
+                   "cache: capacity must be <= 1000000");
+        return errors;
+    }
+
+    std::vector<std::string> columns() const override
+    {
+        return {"spec", "workload", "n", "capacity", "policy", "warm",
+                "accesses", "hits", "misses", "evictions", "hit_rate"};
+    }
+
+    std::vector<sweep::Cell> run(Random &rng) const override
+    {
+        const auto workload = buildWorkload(_spec, rng);
+        std::uint64_t capacity = _spec.capacity;
+        if (capacity == 0)
+            // Truncate, don't round: the paper-figure capacities
+            // (e.g. 1.5 x PE on the fig-7 PE counts) have always been
+            // the floor of the product.
+            capacity = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       _spec.capacity_x * workload.pe_qubits));
+        const auto result = cache::simulateCache(
+            workload.program, static_cast<std::size_t>(capacity),
+            _spec.policy, _spec.warm, workload.cacheable);
+        return {printSpec(_spec),
+                _spec.workload,
+                _spec.n,
+                capacity,
+                cache::fetchPolicyName(_spec.policy),
+                _spec.warm ? std::int64_t(1) : std::int64_t(0),
+                result.accesses,
+                result.hits,
+                result.misses,
+                result.evictions,
+                result.hitRate()};
+    }
+};
+
+/** Superblock perimeter-bandwidth supply/demand (Fig. 6b). */
+class BandwidthExperiment final : public Experiment
+{
+  public:
+    explicit BandwidthExperiment(ExperimentSpec spec)
+        : Experiment(std::move(spec))
+    {
+    }
+
+    std::string name() const override { return "bandwidth"; }
+
+    std::vector<std::string> validate() const override
+    {
+        std::vector<std::string> errors;
+        checkRange(errors, _spec.level >= 1 && _spec.level <= 4,
+                   "bandwidth: level must be in [1, 4]");
+        checkRange(errors,
+                   _spec.utilization > 0.0 && _spec.utilization <= 1.0,
+                   "bandwidth: utilization must be in (0, 1]");
+        checkRange(errors, _spec.blocks <= 100000,
+                   "bandwidth: blocks must be <= 100000");
+        return errors;
+    }
+
+    std::vector<std::string> columns() const override
+    {
+        return {"spec", "code", "level", "blocks", "utilization",
+                "required_worst_qps", "required_draper_qps",
+                "available_qps", "crossover_blocks"};
+    }
+
+    std::vector<sweep::Cell> run(Random &) const override
+    {
+        const net::BandwidthModel model(ecc::Code::byKind(_spec.code),
+                                        _spec.level, _spec.params());
+        const double blocks = static_cast<double>(_spec.blocks);
+        return {printSpec(_spec),
+                ecc::Code::byKind(_spec.code).name(),
+                _spec.level,
+                _spec.blocks,
+                _spec.utilization,
+                model.requiredWorstCase(blocks),
+                model.requiredDraper(blocks, _spec.utilization),
+                model.availablePerSuperblock(blocks),
+                model.crossoverBlocks(4096, _spec.utilization)};
+    }
+};
+
+/** Error-correction Monte Carlo vs the analytic model (Table 2). */
+class MonteCarloExperiment final : public Experiment
+{
+  public:
+    explicit MonteCarloExperiment(ExperimentSpec spec)
+        : Experiment(std::move(spec))
+    {
+    }
+
+    std::string name() const override { return "montecarlo"; }
+
+    std::vector<std::string> validate() const override
+    {
+        std::vector<std::string> errors;
+        checkRange(errors, _spec.level >= 1 && _spec.level <= 3,
+                   "montecarlo: level must be in [1, 3] (cost grows "
+                   "as n^level per trial)");
+        checkRange(errors, _spec.p0 > 0.0 && _spec.p0 <= 0.25,
+                   "montecarlo: p0 must be in (0, 0.25]");
+        checkRange(errors,
+                   _spec.trials >= 1 && _spec.trials <= 100000000,
+                   "montecarlo: trials must be in [1, 1e8]");
+        checkRange(errors,
+                   _spec.noise_factor > 0.0 &&
+                       _spec.noise_factor <= 100.0,
+                   "montecarlo: noise_factor must be in (0, 100]");
+        return errors;
+    }
+
+    std::vector<std::string> columns() const override
+    {
+        return {"spec", "code", "level", "p0", "trials", "failures",
+                "mc_rate", "mc_std_error", "analytic_rate"};
+    }
+
+    std::vector<sweep::Cell> run(Random &rng) const override
+    {
+        const ecc::EcMonteCarlo mc(ecc::Code::byKind(_spec.code),
+                                   _spec.noise_factor);
+        const auto estimate =
+            mc.estimate(_spec.level, _spec.p0, _spec.trials, rng);
+        return {printSpec(_spec),
+                ecc::Code::byKind(_spec.code).name(),
+                _spec.level,
+                _spec.p0,
+                estimate.trials,
+                estimate.failures,
+                estimate.rate,
+                estimate.std_error,
+                mc.analytic(_spec.level, _spec.p0)};
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Experiment>
+makeExperiment(const ExperimentSpec &spec)
+{
+    switch (spec.kind) {
+      case ExperimentKind::Hierarchy:
+        return std::make_unique<HierarchyExperiment>(spec);
+      case ExperimentKind::Cache:
+        return std::make_unique<CacheExperiment>(spec);
+      case ExperimentKind::Bandwidth:
+        return std::make_unique<BandwidthExperiment>(spec);
+      case ExperimentKind::MonteCarlo:
+        return std::make_unique<MonteCarloExperiment>(spec);
+    }
+    qmh_panic("makeExperiment: bad ExperimentKind ",
+              static_cast<int>(spec.kind));
+}
+
+sweep::ResultTable
+runSpecSweep(sweep::SweepRunner &runner,
+             const std::vector<ExperimentSpec> &specs)
+{
+    if (specs.empty())
+        return sweep::ResultTable({"spec", "seed"});
+
+    std::vector<std::unique_ptr<Experiment>> experiments;
+    experiments.reserve(specs.size());
+    for (const auto &spec : specs) {
+        auto experiment = makeExperiment(spec);
+        const auto errors = experiment->validate();
+        if (!errors.empty())
+            qmh_panic("runSpecSweep: invalid spec '", printSpec(spec),
+                      "': ", errors.front());
+        experiments.push_back(std::move(experiment));
+    }
+    const auto columns = experiments.front()->columns();
+    for (const auto &experiment : experiments)
+        if (experiment->columns() != columns)
+            qmh_panic("runSpecSweep: mixed experiment kinds in one "
+                      "sweep (",
+                      experiments.front()->name(), " vs ",
+                      experiment->name(), ")");
+
+    const std::uint64_t base_seed = runner.options().base_seed;
+    auto rows = runner.map(
+        experiments.size(),
+        [&experiments, base_seed](std::size_t i, Random &rng) {
+            auto row = experiments[i]->run(rng);
+            row.emplace_back(sweep::pointSeed(base_seed, i));
+            return row;
+        });
+
+    auto labelled = columns;
+    labelled.emplace_back("seed");
+    sweep::ResultTable table(std::move(labelled));
+    for (auto &row : rows)
+        table.addRow(std::move(row));
+    return table;
+}
+
+sweep::ResultTable
+runSpecSweep(const std::vector<ExperimentSpec> &specs,
+             const sweep::SweepOptions &options)
+{
+    sweep::SweepRunner runner(options);
+    return runSpecSweep(runner, specs);
+}
+
+} // namespace api
+} // namespace qmh

@@ -1,0 +1,105 @@
+#include "grid.hh"
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace api {
+
+void
+SpecGrid::axis(std::string key, std::vector<std::string> values)
+{
+    axes.push_back({std::move(key), std::move(values)});
+}
+
+std::string
+SpecGrid::addAxis(std::string_view text)
+{
+    const auto eq = text.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return "axis '" + std::string(text) +
+               "' is not key=v1,v2,...";
+    Axis parsed;
+    parsed.key = std::string(text.substr(0, eq));
+    auto rest = text.substr(eq + 1);
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const auto value = rest.substr(0, comma);
+        if (value.empty())
+            return "axis '" + std::string(text) +
+                   "' has an empty value";
+        parsed.values.emplace_back(value);
+        if (comma == std::string_view::npos)
+            break;
+        rest = rest.substr(comma + 1);
+    }
+    if (parsed.values.empty())
+        return "axis '" + std::string(text) + "' has no values";
+
+    // Reject bad keys/values up front so CLI callers get the
+    // diagnostic at parse time, not at expansion.
+    ExperimentSpec scratch = base;
+    for (const auto &value : parsed.values) {
+        const auto error = specSet(scratch, parsed.key, value);
+        if (!error.empty())
+            return error;
+    }
+    axes.push_back(std::move(parsed));
+    return "";
+}
+
+std::vector<std::string>
+SpecGrid::validate() const
+{
+    std::vector<std::string> errors;
+    for (const auto &ax : axes) {
+        if (ax.values.empty()) {
+            errors.push_back("axis '" + ax.key + "' has no values");
+            continue;
+        }
+        ExperimentSpec scratch = base;
+        for (const auto &value : ax.values) {
+            const auto error = specSet(scratch, ax.key, value);
+            if (!error.empty())
+                errors.push_back(error);
+        }
+    }
+    return errors;
+}
+
+std::size_t
+SpecGrid::points() const
+{
+    std::size_t total = 1;
+    for (const auto &ax : axes)
+        total *= ax.values.size();
+    return total;
+}
+
+std::vector<ExperimentSpec>
+SpecGrid::expand() const
+{
+    const std::size_t total = points();
+    std::vector<ExperimentSpec> specs;
+    if (total == 0)
+        return specs;
+    specs.reserve(total);
+    for (std::size_t index = 0; index < total; ++index) {
+        ExperimentSpec spec = base;
+        // Mixed-radix decomposition: first axis slowest, last fastest.
+        std::size_t stride = total;
+        for (const auto &ax : axes) {
+            stride /= ax.values.size();
+            const std::size_t pick =
+                (index / stride) % ax.values.size();
+            const auto error =
+                specSet(spec, ax.key, ax.values[pick]);
+            if (!error.empty())
+                qmh_panic("SpecGrid::expand: ", error);
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+} // namespace api
+} // namespace qmh

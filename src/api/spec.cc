@@ -1,0 +1,372 @@
+#include "spec.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace qmh {
+namespace api {
+
+namespace {
+
+/** Field descriptor: one `key=value` handled uniformly. */
+struct FieldDef
+{
+    const char *key;
+    const char *help;
+    std::string (*get)(const ExperimentSpec &);
+    /** Returns "" on success, a diagnostic otherwise. */
+    std::string (*set)(ExperimentSpec &, std::string_view);
+};
+
+std::string
+badValue(const char *key, std::string_view value, const char *expect)
+{
+    return std::string(key) + "=" + std::string(value) + ": expected " +
+           expect;
+}
+
+const char *
+policyName(cache::FetchPolicy policy)
+{
+    return policy == cache::FetchPolicy::InOrder ? "inorder"
+                                                 : "optimized";
+}
+
+const char *
+codeSpecName(ecc::CodeKind kind)
+{
+    return kind == ecc::CodeKind::Steane713 ? "steane" : "bacon-shor";
+}
+
+// Setter/getter builders for the common field shapes. Each returns a
+// captureless lambda convertible to the function pointers above.
+
+#define QMH_INT_FIELD(member, lo, hi)                                   \
+    [](const ExperimentSpec &s) {                                       \
+        return std::to_string(s.member);                                \
+    },                                                                  \
+    [](ExperimentSpec &s, std::string_view v) -> std::string {          \
+        const auto parsed = parseInt(v);                                \
+        if (!parsed || *parsed < (lo) || *parsed > (hi))                \
+            return badValue(#member, v,                                 \
+                            "integer in [" #lo ", " #hi "]");           \
+        s.member = static_cast<decltype(s.member)>(*parsed);            \
+        return "";                                                      \
+    }
+
+#define QMH_U64_FIELD(member)                                           \
+    [](const ExperimentSpec &s) {                                       \
+        return std::to_string(s.member);                                \
+    },                                                                  \
+    [](ExperimentSpec &s, std::string_view v) -> std::string {          \
+        const auto parsed = parseUInt(v);                               \
+        if (!parsed)                                                    \
+            return badValue(#member, v, "unsigned integer");            \
+        s.member = *parsed;                                             \
+        return "";                                                      \
+    }
+
+#define QMH_DOUBLE_FIELD(member)                                        \
+    [](const ExperimentSpec &s) { return formatDouble(s.member); },     \
+    [](ExperimentSpec &s, std::string_view v) -> std::string {          \
+        const auto parsed = parseDouble(v);                             \
+        if (!parsed)                                                    \
+            return badValue(#member, v, "real number");                 \
+        s.member = *parsed;                                             \
+        return "";                                                      \
+    }
+
+#define QMH_BOOL_FIELD(member)                                          \
+    [](const ExperimentSpec &s) {                                       \
+        return std::string(s.member ? "1" : "0");                       \
+    },                                                                  \
+    [](ExperimentSpec &s, std::string_view v) -> std::string {          \
+        if (v == "1")                                                   \
+            s.member = true;                                            \
+        else if (v == "0")                                              \
+            s.member = false;                                           \
+        else                                                            \
+            return badValue(#member, v, "0 or 1");                      \
+        return "";                                                      \
+    }
+
+const FieldDef field_defs[] = {
+    {"experiment", "hierarchy | cache | bandwidth | montecarlo",
+     [](const ExperimentSpec &s) { return std::string(kindName(s.kind)); },
+     [](ExperimentSpec &s, std::string_view v) -> std::string {
+         const auto kind = parseKind(v);
+         if (!kind)
+             return badValue("experiment", v,
+                             "hierarchy | cache | bandwidth | montecarlo");
+         s.kind = *kind;
+         return "";
+     }},
+    {"machine", "technology preset: now | future",
+     [](const ExperimentSpec &s) { return s.machine; },
+     [](ExperimentSpec &s, std::string_view v) -> std::string {
+         if (v != "now" && v != "future")
+             return badValue("machine", v, "now | future");
+         s.machine = std::string(v);
+         return "";
+     }},
+    {"code", "error-correcting code: steane | bacon-shor",
+     [](const ExperimentSpec &s) {
+         return std::string(codeSpecName(s.code));
+     },
+     [](ExperimentSpec &s, std::string_view v) -> std::string {
+         if (v == "steane")
+             s.code = ecc::CodeKind::Steane713;
+         else if (v == "bacon-shor")
+             s.code = ecc::CodeKind::BaconShor913;
+         else
+             return badValue("code", v, "steane | bacon-shor");
+         return "";
+     }},
+    {"workload", "named generator (see api::workloadRegistry)",
+     [](const ExperimentSpec &s) { return s.workload; },
+     [](ExperimentSpec &s, std::string_view v) -> std::string {
+         if (v.empty())
+             return badValue("workload", v, "a generator name");
+         s.workload = std::string(v);
+         return "";
+     }},
+    {"n", "operand / register width", QMH_INT_FIELD(n, 1, 65536)},
+    {"gates", "gate count of the random workload",
+     QMH_INT_FIELD(gates, 1, 10000000)},
+    {"reps", "repeated additions of the modexp workload",
+     QMH_INT_FIELD(reps, 1, 10000)},
+    {"transfers", "parallel code-transfer channels",
+     QMH_INT_FIELD(transfers, 1, 100000)},
+    {"blocks", "compute blocks", QMH_INT_FIELD(blocks, 1, 1000000)},
+    {"adders", "additions in the hierarchy stream",
+     QMH_U64_FIELD(adders)},
+    {"l1_fraction", "share of additions routed to level 1",
+     QMH_DOUBLE_FIELD(l1_fraction)},
+    {"chain_fraction", "serially dependent share of additions",
+     QMH_DOUBLE_FIELD(chain_fraction)},
+    {"capacity", "cache capacity in qubits (0 = capacity_x * PE)",
+     QMH_U64_FIELD(capacity)},
+    {"capacity_x", "auto-capacity multiplier of the PE count",
+     QMH_DOUBLE_FIELD(capacity_x)},
+    {"policy", "cache fetch policy: inorder | optimized",
+     [](const ExperimentSpec &s) {
+         return std::string(policyName(s.policy));
+     },
+     [](ExperimentSpec &s, std::string_view v) -> std::string {
+         if (v == "inorder")
+             s.policy = cache::FetchPolicy::InOrder;
+         else if (v == "optimized")
+             s.policy = cache::FetchPolicy::OptimizedLookahead;
+         else
+             return badValue("policy", v, "inorder | optimized");
+         return "";
+     }},
+    {"warm", "warm-start the cache (0 | 1)", QMH_BOOL_FIELD(warm)},
+    {"mask_data", "cache only the data registers (0 | 1)",
+     QMH_BOOL_FIELD(mask_data)},
+    {"level", "concatenation level", QMH_INT_FIELD(level, 1, 8)},
+    {"utilization", "busy-block fraction (bandwidth demand)",
+     QMH_DOUBLE_FIELD(utilization)},
+    {"p0", "physical error rate (montecarlo)", QMH_DOUBLE_FIELD(p0)},
+    {"trials", "Monte-Carlo trials", QMH_U64_FIELD(trials)},
+    {"noise_factor", "EC-circuit noise multiplier",
+     QMH_DOUBLE_FIELD(noise_factor)},
+};
+
+#undef QMH_INT_FIELD
+#undef QMH_U64_FIELD
+#undef QMH_DOUBLE_FIELD
+#undef QMH_BOOL_FIELD
+
+const FieldDef *
+findField(std::string_view key)
+{
+    for (const auto &field : field_defs)
+        if (key == field.key)
+            return &field;
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+kindName(ExperimentKind kind)
+{
+    switch (kind) {
+      case ExperimentKind::Hierarchy:  return "hierarchy";
+      case ExperimentKind::Cache:      return "cache";
+      case ExperimentKind::Bandwidth:  return "bandwidth";
+      case ExperimentKind::MonteCarlo: return "montecarlo";
+    }
+    qmh_panic("kindName: bad ExperimentKind ",
+              static_cast<int>(kind));
+}
+
+std::optional<ExperimentKind>
+parseKind(std::string_view name)
+{
+    if (name == "hierarchy")
+        return ExperimentKind::Hierarchy;
+    if (name == "cache")
+        return ExperimentKind::Cache;
+    if (name == "bandwidth")
+        return ExperimentKind::Bandwidth;
+    if (name == "montecarlo")
+        return ExperimentKind::MonteCarlo;
+    return std::nullopt;
+}
+
+iontrap::Params
+ExperimentSpec::params() const
+{
+    if (machine == "now")
+        return iontrap::Params::now();
+    if (machine == "future")
+        return iontrap::Params::future();
+    qmh_panic("ExperimentSpec: unknown machine preset '", machine, "'");
+}
+
+const std::vector<std::string> &
+specKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> out;
+        for (const auto &field : field_defs)
+            out.emplace_back(field.key);
+        return out;
+    }();
+    return keys;
+}
+
+const char *
+specKeyHelp(std::string_view key)
+{
+    const auto *field = findField(key);
+    return field ? field->help : nullptr;
+}
+
+std::optional<std::string>
+specGet(const ExperimentSpec &spec, std::string_view key)
+{
+    const auto *field = findField(key);
+    if (!field)
+        return std::nullopt;
+    return field->get(spec);
+}
+
+std::string
+specSet(ExperimentSpec &spec, std::string_view key,
+        std::string_view value)
+{
+    const auto *field = findField(key);
+    if (!field)
+        return "unknown key '" + std::string(key) +
+               "' (see specKeys())";
+    return field->set(spec, value);
+}
+
+std::string
+printSpec(const ExperimentSpec &spec)
+{
+    static const ExperimentSpec defaults;
+    std::string out;
+    for (const auto &field : field_defs) {
+        const auto value = field.get(spec);
+        if (std::string_view(field.key) != "experiment" &&
+            value == field.get(defaults))
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += field.key;
+        out += '=';
+        out += value;
+    }
+    return out;
+}
+
+SpecParseResult
+parseSpec(std::string_view text)
+{
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+        std::size_t end = pos;
+        while (end < text.size() && text[end] != ' ' &&
+               text[end] != '\t' && text[end] != '\n' &&
+               text[end] != '\r')
+            ++end;
+        if (end > pos)
+            tokens.emplace_back(text.substr(pos, end - pos));
+        pos = end;
+    }
+    return parseSpecTokens(tokens);
+}
+
+SpecParseResult
+parseSpecTokens(const std::vector<std::string> &tokens)
+{
+    SpecParseResult result;
+    for (const auto &token : tokens) {
+        const auto eq = token.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            result.errors.push_back("'" + token +
+                                    "' is not key=value");
+            continue;
+        }
+        const auto error =
+            specSet(result.spec, std::string_view(token).substr(0, eq),
+                    std::string_view(token).substr(eq + 1));
+        if (!error.empty())
+            result.errors.push_back(error);
+    }
+    return result;
+}
+
+std::optional<std::int64_t>
+parseInt(std::string_view text)
+{
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<std::uint64_t>
+parseUInt(std::string_view text)
+{
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+parseDouble(std::string_view text)
+{
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size())
+        return std::nullopt;
+    return value;
+}
+
+std::string
+formatDouble(double v)
+{
+    return formatDoubleShortest(v);
+}
+
+} // namespace api
+} // namespace qmh

@@ -1,12 +1,24 @@
 #include "table.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 
 #include "logging.hh"
 
 namespace qmh {
+
+std::string
+formatDoubleShortest(double v)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), v);
+    if (ec != std::errc())
+        qmh_panic("formatDoubleShortest: to_chars failed");
+    return std::string(buffer, end);
+}
 
 void
 AsciiTable::setHeader(std::vector<std::string> header)

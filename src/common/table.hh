@@ -17,6 +17,13 @@ namespace qmh {
 enum class Align { Left, Right };
 
 /**
+ * Shortest decimal form that parses back to the same double — the
+ * single implementation behind both the sweep emitters and the
+ * qmh::api spec printer (their exact-round-trip contracts must agree).
+ */
+std::string formatDoubleShortest(double v);
+
+/**
  * Builds a table row by row, then renders it with column widths computed
  * from the content. Cells are strings; helpers format numerics.
  */

@@ -1,8 +1,11 @@
 #include "emit.hh"
 
+#include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -10,18 +13,6 @@ namespace qmh {
 namespace sweep {
 
 namespace {
-
-/** Shortest decimal form that parses back to the same double. */
-std::string
-formatDouble(double v)
-{
-    char buffer[32];
-    const auto [end, ec] =
-        std::to_chars(buffer, buffer + sizeof(buffer), v);
-    if (ec != std::errc())
-        qmh_panic("formatDouble: to_chars failed");
-    return std::string(buffer, end);
-}
 
 /** CSV cell: quote and double embedded quotes when needed. */
 std::string
@@ -75,10 +66,22 @@ Cell::toString() const
     if (const auto *text = std::get_if<std::string>(&_value))
         return *text;
     if (const auto *real = std::get_if<double>(&_value))
-        return formatDouble(*real);
+        return formatDoubleShortest(*real);
     if (const auto *wide = std::get_if<std::uint64_t>(&_value))
         return std::to_string(*wide);
     return std::to_string(std::get<std::int64_t>(_value));
+}
+
+std::optional<double>
+Cell::asNumber() const
+{
+    if (const auto *real = std::get_if<double>(&_value))
+        return *real;
+    if (const auto *wide = std::get_if<std::uint64_t>(&_value))
+        return static_cast<double>(*wide);
+    if (const auto *narrow = std::get_if<std::int64_t>(&_value))
+        return static_cast<double>(*narrow);
+    return std::nullopt;
 }
 
 std::string
@@ -86,6 +89,11 @@ Cell::toJson() const
 {
     if (const auto *text = std::get_if<std::string>(&_value))
         return jsonEscape(*text);
+    // JSON has no literal for inf/nan; a bare token would make the
+    // whole document unparseable, so emit null.
+    if (const auto *real = std::get_if<double>(&_value))
+        if (!std::isfinite(*real))
+            return "null";
     return toString();
 }
 
@@ -103,6 +111,45 @@ ResultTable::addRow(std::vector<Cell> row)
         qmh_panic("ResultTable row width ", row.size(),
                   " != column count ", _columns.size());
     _rows.push_back(std::move(row));
+}
+
+std::optional<std::size_t>
+ResultTable::findColumn(std::string_view name) const
+{
+    for (std::size_t c = 0; c < _columns.size(); ++c)
+        if (_columns[c] == name)
+            return c;
+    return std::nullopt;
+}
+
+const Cell &
+ResultTable::cell(std::size_t row, std::size_t col) const
+{
+    if (row >= _rows.size() || col >= _columns.size())
+        qmh_panic("ResultTable::cell(", row, ", ", col,
+                  ") out of bounds for ", _rows.size(), "x",
+                  _columns.size());
+    return _rows[row][col];
+}
+
+void
+ResultTable::sortRowsByColumnDesc(std::size_t col)
+{
+    if (col >= _columns.size())
+        qmh_panic("ResultTable::sortRowsByColumnDesc: column ", col,
+                  " out of bounds for ", _columns.size());
+    auto rank = [col](const std::vector<Cell> &row) {
+        // NaN would break the comparator's strict weak ordering (UB
+        // in stable_sort); rank it with the non-numeric cells.
+        const auto number = row[col].asNumber();
+        return number && !std::isnan(*number)
+                   ? *number
+                   : -std::numeric_limits<double>::infinity();
+    };
+    std::stable_sort(_rows.begin(), _rows.end(),
+                     [&rank](const auto &a, const auto &b) {
+                         return rank(a) > rank(b);
+                     });
 }
 
 void
@@ -151,6 +198,47 @@ ResultTable::writeJsonFile(const std::string &path) const
         return false;
     writeJson(os);
     return static_cast<bool>(os);
+}
+
+AsciiTable
+toAsciiTable(const ResultTable &table, std::size_t max_rows,
+             const std::vector<std::string> &drop_columns)
+{
+    std::vector<std::size_t> keep;
+    for (std::size_t c = 0; c < table.columns(); ++c) {
+        const auto &name = table.columnNames()[c];
+        if (std::find(drop_columns.begin(), drop_columns.end(),
+                      name) == drop_columns.end())
+            keep.push_back(c);
+    }
+
+    AsciiTable ascii;
+    std::vector<std::string> header;
+    for (const auto c : keep)
+        header.push_back(table.columnNames()[c]);
+    ascii.setHeader(std::move(header));
+    for (std::size_t out = 0; out < keep.size(); ++out)
+        if (table.rows() &&
+            table.cell(0, keep[out]).isText())
+            ascii.setAlign(out, Align::Left);
+
+    const std::size_t show = std::min(max_rows, table.rows());
+    for (std::size_t r = 0; r < show; ++r) {
+        std::vector<std::string> row;
+        for (const auto c : keep) {
+            const auto &value = table.cell(r, c);
+            // Shortest-round-trip doubles are exact but unreadable in
+            // a report; four decimals is plenty here.
+            if (value.isReal() &&
+                std::isfinite(*value.asNumber()))
+                row.push_back(
+                    AsciiTable::num(*value.asNumber(), 4));
+            else
+                row.push_back(value.toString());
+        }
+        ascii.addRow(std::move(row));
+    }
+    return ascii;
 }
 
 } // namespace sweep

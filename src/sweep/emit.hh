@@ -13,10 +13,14 @@
 #define QMH_SWEEP_EMIT_HH
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
+
+#include "common/table.hh"
 
 namespace qmh {
 namespace sweep {
@@ -38,10 +42,21 @@ class Cell
         return std::holds_alternative<std::string>(_value);
     }
 
+    bool isReal() const
+    {
+        return std::holds_alternative<double>(_value);
+    }
+
+    /** Numeric value as a double; nullopt for text cells. */
+    std::optional<double> asNumber() const;
+
     /** Unquoted rendering (CSV body, JSON number, or raw text). */
     std::string toString() const;
 
-    /** JSON value: quoted+escaped for text, bare for numbers. */
+    /**
+     * JSON value: quoted+escaped for text, bare for numbers.
+     * Non-finite doubles have no JSON literal and emit null.
+     */
     std::string toJson() const;
 
   private:
@@ -61,6 +76,24 @@ class ResultTable
     std::size_t rows() const { return _rows.size(); }
     std::size_t columns() const { return _columns.size(); }
 
+    /** Column labels in declaration order. */
+    const std::vector<std::string> &columnNames() const
+    {
+        return _columns;
+    }
+
+    /** Index of the column named @p name; nullopt when absent. */
+    std::optional<std::size_t> findColumn(std::string_view name) const;
+
+    /** Cell at (@p row, @p col); bounds panic. */
+    const Cell &cell(std::size_t row, std::size_t col) const;
+
+    /**
+     * Stable-sort rows by column @p col, largest numeric value first;
+     * text cells sort below every number.
+     */
+    void sortRowsByColumnDesc(std::size_t col);
+
     /** CSV with a header line; cells quoted when they need it. */
     void writeCsv(std::ostream &os) const;
 
@@ -77,6 +110,15 @@ class ResultTable
     std::vector<std::string> _columns;
     std::vector<std::vector<Cell>> _rows;
 };
+
+/**
+ * Render up to @p max_rows of @p table as a paper-style ASCII table,
+ * dropping any column named in @p drop_columns (the wide "spec"
+ * column, typically).
+ */
+AsciiTable toAsciiTable(const ResultTable &table,
+                        std::size_t max_rows = std::size_t(-1),
+                        const std::vector<std::string> &drop_columns = {});
 
 } // namespace sweep
 } // namespace qmh

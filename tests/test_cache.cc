@@ -146,6 +146,119 @@ TEST(CacheSim, PaperFig7Separation)
     EXPECT_LT(in_order.hitRate(), 0.65);
 }
 
+TEST(CacheSim, WarmStartNeverHurtsWhenTheOrderIsFixed)
+{
+    // Monotonicity: with a fixed access order, a warmed LRU cache can
+    // only turn the first touch of a resident qubit from a compulsory
+    // miss into a hit — every cold hit's reuse distance is unchanged.
+    // (OptimizedLookahead re-chooses the order from cache contents,
+    // so its mid-capacity hit rates are not provably monotone; see
+    // the test below for where the guarantee does hold.)
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        48, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> mask(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * 48; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    for (const std::size_t capacity : {8u, 24u, 48u, 96u, 192u}) {
+        const auto cold = simulateCache(prog, capacity,
+                                        FetchPolicy::InOrder, false,
+                                        mask);
+        const auto warm = simulateCache(prog, capacity,
+                                        FetchPolicy::InOrder, true,
+                                        mask);
+        EXPECT_GE(warm.hitRate(), cold.hitRate())
+            << "capacity " << capacity;
+        EXPECT_EQ(warm.accesses, cold.accesses);
+    }
+}
+
+TEST(CacheSim, WarmStartNeverHurtsOptimizedOnceTheWorkingSetFits)
+{
+    // For the lookahead policy the guarantee holds when ordering
+    // effects vanish: the whole cacheable working set is resident
+    // after the warm pass.
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        48, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> mask(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * 48; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    for (const std::size_t capacity : {96u, 128u, 192u}) {
+        const auto cold = simulateCache(
+            prog, capacity, FetchPolicy::OptimizedLookahead, false,
+            mask);
+        const auto warm = simulateCache(
+            prog, capacity, FetchPolicy::OptimizedLookahead, true,
+            mask);
+        EXPECT_GE(warm.hitRate(), cold.hitRate())
+            << "capacity " << capacity;
+        EXPECT_EQ(warm.accesses, cold.accesses);
+    }
+}
+
+TEST(CacheSim, WarmStartAtFullCapacityHasNoMisses)
+{
+    // When every cacheable qubit fits, the warm run starts with the
+    // whole working set resident: zero misses, zero evictions.
+    gen::AdderLayout layout;
+    const auto prog = gen::draperAdder(
+        32, true, &layout, gen::UncomputeMode::CarriesLeftDirty);
+    std::vector<bool> mask(
+        static_cast<std::size_t>(layout.total_qubits), false);
+    for (int i = 0; i < 2 * 32; ++i)
+        mask[static_cast<std::size_t>(i)] = true;
+    const auto warm = simulateCache(
+        prog, 64, FetchPolicy::OptimizedLookahead, true, mask);
+    EXPECT_EQ(warm.misses, 0u);
+    EXPECT_EQ(warm.evictions, 0u);
+    EXPECT_DOUBLE_EQ(warm.hitRate(), 1.0);
+}
+
+TEST(CacheSim, MaskedScratchNeverMissesOrEvicts)
+{
+    // Heavy traffic on masked scratch qubits must be invisible to the
+    // hierarchy: no accesses, no misses, no evictions — even with a
+    // cache far smaller than the scratch working set.
+    Program p("scratch-heavy", 34);
+    for (int round = 0; round < 6; ++round)
+        for (unsigned q = 2; q < 34; ++q)
+            p.toffoli(QubitId(0), QubitId(1), QubitId(q));
+    std::vector<bool> mask(34, false);
+    mask[0] = mask[1] = true;
+    for (const bool warm : {false, true}) {
+        const auto r =
+            simulateCache(p, 2, FetchPolicy::InOrder, warm, mask);
+        // Only the two data qubits are ever counted...
+        EXPECT_EQ(r.accesses, 2u * 6u * 32u);
+        // ...and they fit, so nothing beyond their compulsory misses.
+        EXPECT_LE(r.misses, 2u);
+        EXPECT_EQ(r.evictions, 0u);
+        if (warm) {
+            EXPECT_EQ(r.misses, 0u);
+        }
+    }
+}
+
+TEST(CacheSim, AllMaskedProgramTouchesNothing)
+{
+    Program p("all-scratch", 4);
+    for (int i = 0; i < 8; ++i)
+        p.cnot(QubitId(0), QubitId(1));
+    const std::vector<bool> mask(4, false);
+    const auto r =
+        simulateCache(p, 2, FetchPolicy::OptimizedLookahead, true,
+                      mask);
+    EXPECT_EQ(r.accesses, 0u);
+    EXPECT_EQ(r.misses, 0u);
+    EXPECT_EQ(r.evictions, 0u);
+    EXPECT_DOUBLE_EQ(r.hitRate(), 0.0);
+    // Every instruction still issues exactly once.
+    EXPECT_EQ(r.issue_order.size(), p.size());
+}
+
 TEST(CacheSimDeath, ZeroCapacityRejected)
 {
     Program p("x", 1);

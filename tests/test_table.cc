@@ -1,8 +1,13 @@
-/** @file Unit tests for the ASCII table renderer. */
+/** @file Unit tests for the ASCII table renderer and table cells. */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <sstream>
+
 #include "common/table.hh"
+#include "sweep/emit.hh"
 
 namespace qmh {
 namespace {
@@ -74,6 +79,72 @@ TEST(AsciiTable, CountsRowsAndColumns)
     t.addRow({"1", "2", "3"});
     EXPECT_EQ(t.columns(), 3u);
     EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Cell, NonFiniteDoublesEmitJsonNull)
+{
+    // Regression: bare inf/nan tokens are not valid JSON; the whole
+    // emitted document would be unparseable.
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(sweep::Cell(inf).toJson(), "null");
+    EXPECT_EQ(sweep::Cell(-inf).toJson(), "null");
+    EXPECT_EQ(sweep::Cell(nan).toJson(), "null");
+    // Finite doubles and the other cell types are untouched.
+    EXPECT_EQ(sweep::Cell(2.5).toJson(), "2.5");
+    EXPECT_EQ(sweep::Cell(std::string("inf")).toJson(), "\"inf\"");
+
+    sweep::ResultTable table({"speedup"});
+    table.addRow({0.0 / 0.0});
+    table.addRow({1.0 / 0.0});
+    std::ostringstream os;
+    table.writeJson(os);
+    EXPECT_EQ(os.str(), "[\n"
+                        "  {\"speedup\": null},\n"
+                        "  {\"speedup\": null}\n"
+                        "]\n");
+}
+
+TEST(Cell, AsNumberCoversNumericAlternatives)
+{
+    EXPECT_DOUBLE_EQ(sweep::Cell(1.25).asNumber().value(), 1.25);
+    EXPECT_DOUBLE_EQ(sweep::Cell(-3).asNumber().value(), -3.0);
+    EXPECT_DOUBLE_EQ(sweep::Cell(std::uint64_t(9)).asNumber().value(),
+                     9.0);
+    EXPECT_FALSE(sweep::Cell("text").asNumber().has_value());
+}
+
+TEST(ResultTable, AccessorsAndDescendingSort)
+{
+    sweep::ResultTable table({"label", "score"});
+    table.addRow({"low", 1.0});
+    table.addRow({"high", 3.0});
+    table.addRow({"mid", 2.0});
+    table.addRow({"text-score", "n/a"});
+    ASSERT_TRUE(table.findColumn("score").has_value());
+    EXPECT_EQ(*table.findColumn("score"), 1u);
+    EXPECT_FALSE(table.findColumn("missing").has_value());
+
+    table.sortRowsByColumnDesc(1);
+    EXPECT_EQ(table.cell(0, 0).toString(), "high");
+    EXPECT_EQ(table.cell(1, 0).toString(), "mid");
+    EXPECT_EQ(table.cell(2, 0).toString(), "low");
+    // Non-numeric cells sort below every number.
+    EXPECT_EQ(table.cell(3, 0).toString(), "text-score");
+}
+
+TEST(ResultTable, ToAsciiDropsColumnsAndCapsRows)
+{
+    sweep::ResultTable table({"spec", "n", "rate"});
+    table.addRow({"experiment=cache", 64, 0.75});
+    table.addRow({"experiment=cache n=128", 128, 0.5});
+    const auto ascii =
+        sweep::toAsciiTable(table, 1, {"spec"});
+    EXPECT_EQ(ascii.columns(), 2u);
+    EXPECT_EQ(ascii.rows(), 1u);
+    const auto text = ascii.toString();
+    EXPECT_EQ(text.find("experiment"), std::string::npos);
+    EXPECT_NE(text.find("rate"), std::string::npos);
 }
 
 TEST(AsciiTableDeath, MismatchedRowPanics)
