@@ -274,6 +274,30 @@ makeExperiment(const ExperimentSpec &spec)
               static_cast<int>(spec.kind));
 }
 
+std::vector<std::unique_ptr<Experiment>>
+makeValidatedExperiments(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<std::unique_ptr<Experiment>> experiments;
+    experiments.reserve(specs.size());
+    for (const auto &spec : specs) {
+        auto experiment = makeExperiment(spec);
+        const auto errors = experiment->validate();
+        if (!errors.empty())
+            qmh_panic("invalid spec '", printSpec(spec),
+                      "': ", errors.front());
+        experiments.push_back(std::move(experiment));
+    }
+    if (experiments.empty())
+        return experiments;
+    const auto columns = experiments.front()->columns();
+    for (const auto &experiment : experiments)
+        if (experiment->columns() != columns)
+            qmh_panic("mixed experiment kinds in one sweep (",
+                      experiments.front()->name(), " vs ",
+                      experiment->name(), ")");
+    return experiments;
+}
+
 sweep::ResultTable
 runSpecSweep(sweep::SweepRunner &runner,
              const std::vector<ExperimentSpec> &specs)
@@ -281,24 +305,8 @@ runSpecSweep(sweep::SweepRunner &runner,
     if (specs.empty())
         return sweep::ResultTable({"spec", "seed"});
 
-    std::vector<std::unique_ptr<Experiment>> experiments;
-    experiments.reserve(specs.size());
-    for (const auto &spec : specs) {
-        auto experiment = makeExperiment(spec);
-        const auto errors = experiment->validate();
-        if (!errors.empty())
-            qmh_panic("runSpecSweep: invalid spec '", printSpec(spec),
-                      "': ", errors.front());
-        experiments.push_back(std::move(experiment));
-    }
+    auto experiments = makeValidatedExperiments(specs);
     const auto columns = experiments.front()->columns();
-    for (const auto &experiment : experiments)
-        if (experiment->columns() != columns)
-            qmh_panic("runSpecSweep: mixed experiment kinds in one "
-                      "sweep (",
-                      experiments.front()->name(), " vs ",
-                      experiment->name(), ")");
-
     const std::uint64_t base_seed = runner.options().base_seed;
     auto rows = runner.map(
         experiments.size(),

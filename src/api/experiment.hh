@@ -70,6 +70,16 @@ class Experiment
 std::unique_ptr<Experiment> makeExperiment(const ExperimentSpec &spec);
 
 /**
+ * Build the experiments for a one-table sweep: every spec must
+ * validate and all must share one column schema; violations panic
+ * (call validate() per spec first for recoverable diagnostics).
+ * Shared by runSpecSweep and the opt:: cached/adaptive runners so
+ * their notion of "runnable batch" cannot drift apart.
+ */
+std::vector<std::unique_ptr<Experiment>>
+makeValidatedExperiments(const std::vector<ExperimentSpec> &specs);
+
+/**
  * Run every spec across @p runner and emit one table (columns of the
  * specs' kind plus a trailing "seed" column with each point's derived
  * seed). All specs must validate and be of one kind; violations

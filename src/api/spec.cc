@@ -16,6 +16,7 @@ struct FieldDef
 {
     const char *key;
     const char *help;
+    SpecKeyKind kind;
     std::string (*get)(const ExperimentSpec &);
     /** Returns "" on success, a diagnostic otherwise. */
     std::string (*set)(ExperimentSpec &, std::string_view);
@@ -69,12 +70,17 @@ codeSpecName(ecc::CodeKind kind)
         return "";                                                      \
     }
 
+// Non-finite values are rejected even though parseDouble accepts
+// them: NaN breaks the parse(print(s)) == s contract (NaN != NaN),
+// and downstream consumers key result caches on the canonical spec
+// string and cast spec reals to integers (capacity sizing), both of
+// which inf/nan would silently corrupt.
 #define QMH_DOUBLE_FIELD(member)                                        \
     [](const ExperimentSpec &s) { return formatDouble(s.member); },     \
     [](ExperimentSpec &s, std::string_view v) -> std::string {          \
         const auto parsed = parseDouble(v);                             \
-        if (!parsed)                                                    \
-            return badValue(#member, v, "real number");                 \
+        if (!parsed || !std::isfinite(*parsed))                         \
+            return badValue(#member, v, "finite real number");          \
         s.member = *parsed;                                             \
         return "";                                                      \
     }
@@ -95,6 +101,7 @@ codeSpecName(ecc::CodeKind kind)
 
 const FieldDef field_defs[] = {
     {"experiment", "hierarchy | cache | bandwidth | montecarlo",
+     SpecKeyKind::Text,
      [](const ExperimentSpec &s) { return std::string(kindName(s.kind)); },
      [](ExperimentSpec &s, std::string_view v) -> std::string {
          const auto kind = parseKind(v);
@@ -104,7 +111,7 @@ const FieldDef field_defs[] = {
          s.kind = *kind;
          return "";
      }},
-    {"machine", "technology preset: now | future",
+    {"machine", "technology preset: now | future", SpecKeyKind::Text,
      [](const ExperimentSpec &s) { return s.machine; },
      [](ExperimentSpec &s, std::string_view v) -> std::string {
          if (v != "now" && v != "future")
@@ -113,6 +120,7 @@ const FieldDef field_defs[] = {
          return "";
      }},
     {"code", "error-correcting code: steane | bacon-shor",
+     SpecKeyKind::Text,
      [](const ExperimentSpec &s) {
          return std::string(codeSpecName(s.code));
      },
@@ -126,6 +134,7 @@ const FieldDef field_defs[] = {
          return "";
      }},
     {"workload", "named generator (see api::workloadRegistry)",
+     SpecKeyKind::Text,
      [](const ExperimentSpec &s) { return s.workload; },
      [](ExperimentSpec &s, std::string_view v) -> std::string {
          if (v.empty())
@@ -133,25 +142,28 @@ const FieldDef field_defs[] = {
          s.workload = std::string(v);
          return "";
      }},
-    {"n", "operand / register width", QMH_INT_FIELD(n, 1, 65536)},
-    {"gates", "gate count of the random workload",
+    {"n", "operand / register width", SpecKeyKind::Int,
+     QMH_INT_FIELD(n, 1, 65536)},
+    {"gates", "gate count of the random workload", SpecKeyKind::Int,
      QMH_INT_FIELD(gates, 1, 10000000)},
     {"reps", "repeated additions of the modexp workload",
-     QMH_INT_FIELD(reps, 1, 10000)},
-    {"transfers", "parallel code-transfer channels",
+     SpecKeyKind::Int, QMH_INT_FIELD(reps, 1, 10000)},
+    {"transfers", "parallel code-transfer channels", SpecKeyKind::Int,
      QMH_INT_FIELD(transfers, 1, 100000)},
-    {"blocks", "compute blocks", QMH_INT_FIELD(blocks, 1, 1000000)},
-    {"adders", "additions in the hierarchy stream",
+    {"blocks", "compute blocks", SpecKeyKind::Int,
+     QMH_INT_FIELD(blocks, 1, 1000000)},
+    {"adders", "additions in the hierarchy stream", SpecKeyKind::UInt,
      QMH_U64_FIELD(adders)},
     {"l1_fraction", "share of additions routed to level 1",
-     QMH_DOUBLE_FIELD(l1_fraction)},
+     SpecKeyKind::Real, QMH_DOUBLE_FIELD(l1_fraction)},
     {"chain_fraction", "serially dependent share of additions",
-     QMH_DOUBLE_FIELD(chain_fraction)},
+     SpecKeyKind::Real, QMH_DOUBLE_FIELD(chain_fraction)},
     {"capacity", "cache capacity in qubits (0 = capacity_x * PE)",
-     QMH_U64_FIELD(capacity)},
+     SpecKeyKind::UInt, QMH_U64_FIELD(capacity)},
     {"capacity_x", "auto-capacity multiplier of the PE count",
-     QMH_DOUBLE_FIELD(capacity_x)},
+     SpecKeyKind::Real, QMH_DOUBLE_FIELD(capacity_x)},
     {"policy", "cache fetch policy: inorder | optimized",
+     SpecKeyKind::Text,
      [](const ExperimentSpec &s) {
          return std::string(policyName(s.policy));
      },
@@ -164,15 +176,19 @@ const FieldDef field_defs[] = {
              return badValue("policy", v, "inorder | optimized");
          return "";
      }},
-    {"warm", "warm-start the cache (0 | 1)", QMH_BOOL_FIELD(warm)},
+    {"warm", "warm-start the cache (0 | 1)", SpecKeyKind::Bool,
+     QMH_BOOL_FIELD(warm)},
     {"mask_data", "cache only the data registers (0 | 1)",
-     QMH_BOOL_FIELD(mask_data)},
-    {"level", "concatenation level", QMH_INT_FIELD(level, 1, 8)},
+     SpecKeyKind::Bool, QMH_BOOL_FIELD(mask_data)},
+    {"level", "concatenation level", SpecKeyKind::Int,
+     QMH_INT_FIELD(level, 1, 8)},
     {"utilization", "busy-block fraction (bandwidth demand)",
-     QMH_DOUBLE_FIELD(utilization)},
-    {"p0", "physical error rate (montecarlo)", QMH_DOUBLE_FIELD(p0)},
-    {"trials", "Monte-Carlo trials", QMH_U64_FIELD(trials)},
-    {"noise_factor", "EC-circuit noise multiplier",
+     SpecKeyKind::Real, QMH_DOUBLE_FIELD(utilization)},
+    {"p0", "physical error rate (montecarlo)", SpecKeyKind::Real,
+     QMH_DOUBLE_FIELD(p0)},
+    {"trials", "Monte-Carlo trials", SpecKeyKind::UInt,
+     QMH_U64_FIELD(trials)},
+    {"noise_factor", "EC-circuit noise multiplier", SpecKeyKind::Real,
      QMH_DOUBLE_FIELD(noise_factor)},
 };
 
@@ -246,6 +262,15 @@ specKeyHelp(std::string_view key)
 {
     const auto *field = findField(key);
     return field ? field->help : nullptr;
+}
+
+std::optional<SpecKeyKind>
+specKeyKind(std::string_view key)
+{
+    const auto *field = findField(key);
+    if (!field)
+        return std::nullopt;
+    return field->kind;
 }
 
 std::optional<std::string>

@@ -96,6 +96,19 @@ struct ExperimentSpec
 /** Every spec key in canonical (print) order. */
 const std::vector<std::string> &specKeys();
 
+/** Value shape of a spec key (drives generic tooling like the
+ * design-space optimizer, which can only refine numeric axes). */
+enum class SpecKeyKind {
+    Text,  ///< enumerated / free-form string
+    Int,   ///< bounded signed integer
+    UInt,  ///< unsigned 64-bit integer
+    Real,  ///< finite double
+    Bool   ///< 0 | 1
+};
+
+/** Value shape of @p key; nullopt on unknown key. */
+std::optional<SpecKeyKind> specKeyKind(std::string_view key);
+
 /** One-line help text for @p key; nullptr on unknown key. */
 const char *specKeyHelp(std::string_view key);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <limits>
 
 #include "logging.hh"
 
@@ -22,12 +23,28 @@ Average::sample(double v)
     ++_count;
 }
 
+double
+Average::min() const
+{
+    return _count ? _min : std::numeric_limits<double>::quiet_NaN();
+}
+
+double
+Average::max() const
+{
+    return _count ? _max : std::numeric_limits<double>::quiet_NaN();
+}
+
 void
 Average::reset()
 {
     _sum = 0.0;
-    _min = 0.0;
-    _max = 0.0;
+    // Poison the extrema instead of leaving the last run's values
+    // behind: sample() reinitializes them on the first post-reset
+    // sample, and min()/max() guard on _count, so stale _min/_max
+    // must never be observable.
+    _min = std::numeric_limits<double>::quiet_NaN();
+    _max = std::numeric_limits<double>::quiet_NaN();
     _count = 0;
 }
 

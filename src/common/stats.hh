@@ -9,6 +9,7 @@
 #define QMH_COMMON_STATS_HH
 
 #include <cstdint>
+#include <limits>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -37,7 +38,15 @@ class Scalar
     double _value = 0.0;
 };
 
-/** Running mean/min/max over samples. */
+/**
+ * Running mean/min/max over samples.
+ *
+ * With no samples taken (fresh or just reset()), min() and max()
+ * return NaN — a real extremum of 0.0 must stay distinguishable from
+ * "never sampled" (consumers rank NaN with the non-numeric cells, the
+ * same convention as ResultTable's NaN-safe sort). mean() keeps the
+ * historical 0.0-on-empty so accumulating dumps stay finite.
+ */
 class Average
 {
   public:
@@ -47,8 +56,8 @@ class Average
 
     void sample(double v);
     double mean() const { return _count ? _sum / _count : 0.0; }
-    double min() const { return _count ? _min : 0.0; }
-    double max() const { return _count ? _max : 0.0; }
+    double min() const;
+    double max() const;
     std::uint64_t count() const { return _count; }
     double sum() const { return _sum; }
     const std::string &name() const { return _name; }
@@ -59,8 +68,8 @@ class Average
     std::string _name;
     std::string _desc;
     double _sum = 0.0;
-    double _min = 0.0;
-    double _max = 0.0;
+    double _min = std::numeric_limits<double>::quiet_NaN();
+    double _max = std::numeric_limits<double>::quiet_NaN();
     std::uint64_t _count = 0;
 };
 

@@ -1,0 +1,103 @@
+#include "cached_sweep.hh"
+
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace opt {
+
+CachedSweepOutcome
+runSpecSweepCached(sweep::SweepRunner &runner,
+                   const std::vector<api::ExperimentSpec> &specs,
+                   ResultCache *cache)
+{
+    CachedSweepOutcome outcome;
+    if (specs.empty())
+        return outcome;
+
+    auto experiments = api::makeValidatedExperiments(specs);
+    const auto columns = experiments.front()->columns();
+    const std::uint64_t base_seed = runner.options().base_seed;
+    if (cache && cache->backed() && cache->baseSeed() != base_seed)
+        qmh_panic("runSpecSweepCached: cache '", cache->path(),
+                  "' is bound to base seed ", cache->baseSeed(),
+                  " but the runner uses ", base_seed);
+
+    // Resolve every point to a row source first: cache hit, duplicate
+    // of an earlier point in this very list, or a fresh simulation.
+    struct Source
+    {
+        std::uint64_t seed = 0;
+        const CachedResult *hit = nullptr;  // cache replay
+        std::size_t dup_of = 0;             // earlier identical spec
+        bool dup = false;
+        std::size_t miss_slot = 0;          // index into the sim batch
+    };
+    std::vector<Source> sources(specs.size());
+    std::vector<std::string> keys(specs.size());
+    std::unordered_map<std::string, std::size_t> first_index;
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        keys[i] = api::printSpec(specs[i]);
+        auto &source = sources[i];
+        source.seed = specSeed(base_seed, keys[i]);
+        if (const auto *hit = cache ? cache->lookup(keys[i]) : nullptr;
+            hit && hit->row.size() == columns.size() &&
+            hit->seed == source.seed) {
+            // A width or seed mismatch means the entry predates a
+            // schema or seeding change; fall through and re-simulate
+            // rather than replay a row that a cold run could not
+            // reproduce.
+            source.hit = hit;
+            continue;
+        }
+        if (const auto [it, fresh] = first_index.emplace(keys[i], i);
+            !fresh) {
+            source.dup = true;
+            source.dup_of = it->second;
+            continue;
+        }
+        source.miss_slot = misses.size();
+        misses.push_back(i);
+    }
+
+    // Fan only the misses across the pool. The Random the runner
+    // hands out is index-addressed; replace it with the spec-addressed
+    // stream so the row does not depend on this batch's composition.
+    const auto simulated = runner.map(
+        misses.size(),
+        [&](std::size_t slot, Random &) {
+            const std::size_t i = misses[slot];
+            Random rng(sources[i].seed);
+            return experiments[i]->run(rng);
+        });
+    outcome.simulated = misses.size();
+    outcome.cached = specs.size() - misses.size();
+
+    // Upsert rather than insert: a miss caused by a stale entry
+    // (width/seed mismatch above) must replace that entry, or every
+    // future run would re-simulate the point forever.
+    for (const std::size_t i : misses)
+        if (cache)
+            cache->upsert(keys[i], sources[i].seed,
+                          simulated[sources[i].miss_slot]);
+
+    auto labelled = columns;
+    labelled.emplace_back("seed");
+    sweep::ResultTable table(std::move(labelled));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &source = sources[i];
+        auto row = source.hit ? source.hit->row
+                   : source.dup
+                       ? simulated[sources[source.dup_of].miss_slot]
+                       : simulated[source.miss_slot];
+        row.emplace_back(source.seed);
+        table.addRow(std::move(row));
+    }
+    outcome.table = std::move(table);
+    return outcome;
+}
+
+} // namespace opt
+} // namespace qmh

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cache-aware spec sweeps.
+ *
+ * runSpecSweepCached() is api::runSpecSweep with a memo in front:
+ * points whose canonical spec string is already in the ResultCache
+ * replay their stored rows; only the misses fan across the worker
+ * pool, and their results are inserted afterwards. Per-point RNG
+ * streams come from opt::specSeed — a function of the spec string
+ * rather than the grid index — so a row is the same no matter which
+ * sweep, ordering or refinement round requests it, which is what
+ * makes replay bit-identical (the one deliberate difference from the
+ * index-seeded api::runSpecSweep).
+ */
+
+#ifndef QMH_OPT_CACHED_SWEEP_HH
+#define QMH_OPT_CACHED_SWEEP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "api/experiment.hh"
+#include "opt/result_cache.hh"
+
+namespace qmh {
+namespace opt {
+
+/** A cached sweep's table plus where its rows came from. */
+struct CachedSweepOutcome
+{
+    /** Kind columns plus a trailing "seed" column, rows in spec order. */
+    sweep::ResultTable table{{"spec", "seed"}};
+    /** Points executed by an engine this call. */
+    std::size_t simulated = 0;
+    /** Points replayed from the cache (or repeated within the list). */
+    std::size_t cached = 0;
+};
+
+/**
+ * Run every spec, consulting (and filling) @p cache. All specs must
+ * validate and share one kind — violations panic, like runSpecSweep.
+ * @p cache may be null (every point simulates; nothing persists).
+ * Rows land in spec order and are bit-identical across thread counts
+ * and across cold/warm invocations with the same base seed.
+ */
+CachedSweepOutcome
+runSpecSweepCached(sweep::SweepRunner &runner,
+                   const std::vector<api::ExperimentSpec> &specs,
+                   ResultCache *cache = nullptr);
+
+} // namespace opt
+} // namespace qmh
+
+#endif // QMH_OPT_CACHED_SWEEP_HH

@@ -30,9 +30,10 @@ csvEscape(const std::string &s)
     return out;
 }
 
-/** JSON string literal with the mandatory escapes. */
+} // namespace
+
 std::string
-jsonEscape(const std::string &s)
+jsonQuote(const std::string &s)
 {
     std::string out = "\"";
     for (const char c : s) {
@@ -58,8 +59,6 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 std::string
 Cell::toString() const
 {
@@ -84,11 +83,60 @@ Cell::asNumber() const
     return std::nullopt;
 }
 
+char
+Cell::typeTag() const
+{
+    if (std::holds_alternative<std::string>(_value))
+        return 's';
+    if (std::holds_alternative<double>(_value))
+        return 'd';
+    if (std::holds_alternative<std::int64_t>(_value))
+        return 'i';
+    return 'u';
+}
+
+std::optional<Cell>
+Cell::fromTagged(char tag, std::string text)
+{
+    // Strict full-consumption parsing, like api::parseInt and
+    // friends (which live above this layer): trailing garbage means
+    // a corrupt serialization, never a silent zero.
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    switch (tag) {
+    case 's':
+        return Cell(std::move(text));
+    case 'd': {
+        double v = 0.0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc() || ptr != last)
+            return std::nullopt;
+        return Cell(v);
+    }
+    case 'i': {
+        std::int64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc() || ptr != last)
+            return std::nullopt;
+        return Cell(v);
+    }
+    case 'u': {
+        std::uint64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc() || ptr != last)
+            return std::nullopt;
+        return Cell(v);
+    }
+    default:
+        return std::nullopt;
+    }
+}
+
 std::string
 Cell::toJson() const
 {
     if (const auto *text = std::get_if<std::string>(&_value))
-        return jsonEscape(*text);
+        return jsonQuote(*text);
     // JSON has no literal for inf/nan; a bare token would make the
     // whole document unparseable, so emit null.
     if (const auto *real = std::get_if<double>(&_value))
@@ -133,23 +181,32 @@ ResultTable::cell(std::size_t row, std::size_t col) const
 }
 
 void
-ResultTable::sortRowsByColumnDesc(std::size_t col)
+ResultTable::sortRowsByColumn(std::size_t col, bool descending)
 {
     if (col >= _columns.size())
-        qmh_panic("ResultTable::sortRowsByColumnDesc: column ", col,
+        qmh_panic("ResultTable::sortRowsByColumn: column ", col,
                   " out of bounds for ", _columns.size());
-    auto rank = [col](const std::vector<Cell> &row) {
-        // NaN would break the comparator's strict weak ordering (UB
-        // in stable_sort); rank it with the non-numeric cells.
+    // Text and NaN cells always rank after the numbers (NaN in the
+    // comparator itself would break strict weak ordering — UB in
+    // stable_sort — so it is mapped to the worst rank up front).
+    const double worst = descending
+                             ? -std::numeric_limits<double>::infinity()
+                             : std::numeric_limits<double>::infinity();
+    auto rank = [col, worst](const std::vector<Cell> &row) {
         const auto number = row[col].asNumber();
-        return number && !std::isnan(*number)
-                   ? *number
-                   : -std::numeric_limits<double>::infinity();
+        return number && !std::isnan(*number) ? *number : worst;
     };
     std::stable_sort(_rows.begin(), _rows.end(),
-                     [&rank](const auto &a, const auto &b) {
-                         return rank(a) > rank(b);
+                     [&rank, descending](const auto &a, const auto &b) {
+                         return descending ? rank(a) > rank(b)
+                                           : rank(a) < rank(b);
                      });
+}
+
+void
+ResultTable::sortRowsByColumnDesc(std::size_t col)
+{
+    sortRowsByColumn(col, true);
 }
 
 void
@@ -172,7 +229,7 @@ ResultTable::writeJson(std::ostream &os) const
     for (std::size_t r = 0; r < _rows.size(); ++r) {
         os << "  {";
         for (std::size_t c = 0; c < _columns.size(); ++c) {
-            os << (c ? ", " : "") << jsonEscape(_columns[c]) << ": "
+            os << (c ? ", " : "") << jsonQuote(_columns[c]) << ": "
                << _rows[r][c].toJson();
         }
         os << (r + 1 < _rows.size() ? "},\n" : "}\n");

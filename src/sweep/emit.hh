@@ -59,6 +59,19 @@ class Cell
      */
     std::string toJson() const;
 
+    /**
+     * One-character alternative tag for serialization: 's' text,
+     * 'd' real, 'i' signed integer, 'u' unsigned integer.
+     */
+    char typeTag() const;
+
+    /**
+     * Rebuild a cell from (typeTag(), toString()); round-trips every
+     * cell exactly, alternative included. nullopt when @p text does
+     * not parse under @p tag (or the tag is unknown).
+     */
+    static std::optional<Cell> fromTagged(char tag, std::string text);
+
   private:
     std::variant<std::string, double, std::int64_t, std::uint64_t>
         _value;
@@ -89,9 +102,13 @@ class ResultTable
     const Cell &cell(std::size_t row, std::size_t col) const;
 
     /**
-     * Stable-sort rows by column @p col, largest numeric value first;
-     * text cells sort below every number.
+     * Stable-sort rows by the numeric value of column @p col, in the
+     * requested direction; text and NaN cells sort after every number
+     * either way.
      */
+    void sortRowsByColumn(std::size_t col, bool descending);
+
+    /** sortRowsByColumn(col, true). */
     void sortRowsByColumnDesc(std::size_t col);
 
     /** CSV with a header line; cells quoted when they need it. */
@@ -110,6 +127,9 @@ class ResultTable
     std::vector<std::string> _columns;
     std::vector<std::vector<Cell>> _rows;
 };
+
+/** JSON string literal (quotes plus the mandatory escapes) for @p s. */
+std::string jsonQuote(const std::string &s);
 
 /**
  * Render up to @p max_rows of @p table as a paper-style ASCII table,

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "api/experiment.hh"
@@ -61,6 +63,75 @@ TEST(Spec, RoundTripsEveryKind)
         ASSERT_TRUE(parsed.ok());
         EXPECT_TRUE(parsed.spec == spec);
     }
+}
+
+TEST(Spec, DoubleRoundTripFuzz)
+{
+    // The result cache is keyed on canonical spec strings, so the
+    // printer must round-trip *every* finite double bit-exactly —
+    // including subnormals, negative zero and values with no short
+    // decimal form. Drive random bit patterns through print -> parse.
+    Random rng(0xF00DF00DULL);
+    int tested = 0;
+    while (tested < 5000) {
+        const std::uint64_t bits = rng.next();
+        double value;
+        static_assert(sizeof(value) == sizeof(bits));
+        std::memcpy(&value, &bits, sizeof(value));
+        if (!std::isfinite(value))
+            continue;  // the spec layer rejects non-finite values
+        ++tested;
+        const auto reparsed = parseDouble(formatDouble(value));
+        ASSERT_TRUE(reparsed.has_value()) << formatDouble(value);
+        EXPECT_EQ(std::memcmp(&*reparsed, &value, sizeof(value)), 0)
+            << formatDouble(value);
+
+        ExperimentSpec spec;
+        spec.l1_fraction = value;
+        const auto parsed = parseSpec(printSpec(spec));
+        ASSERT_TRUE(parsed.ok()) << printSpec(spec);
+        EXPECT_TRUE(parsed.spec == spec) << printSpec(spec);
+        EXPECT_EQ(printSpec(parsed.spec), printSpec(spec));
+    }
+}
+
+TEST(Spec, NonRepresentableDecimalRoundTrips)
+{
+    // 0.1 has no exact binary representation; the canonical printer
+    // must still emit a string that parses back to the same bits (and
+    // stays the human-friendly shortest form, not 0.1000000000000000055…).
+    ExperimentSpec spec;
+    ASSERT_EQ(specSet(spec, "l1_fraction", "0.1"), "");
+    EXPECT_EQ(specGet(spec, "l1_fraction"), "0.1");
+    EXPECT_EQ(spec.l1_fraction, 0.1);
+    const auto parsed = parseSpec(printSpec(spec));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.spec == spec);
+}
+
+TEST(Spec, RejectsNonFiniteReals)
+{
+    // NaN breaks parse(print(s)) == s (NaN != NaN) and inf corrupts
+    // the casts that size caches from capacity_x, so the field
+    // setters must refuse what parseDouble itself accepts.
+    ExperimentSpec spec;
+    EXPECT_NE(specSet(spec, "capacity_x", "inf"), "");
+    EXPECT_NE(specSet(spec, "l1_fraction", "-inf"), "");
+    EXPECT_NE(specSet(spec, "p0", "nan"), "");
+    EXPECT_NE(specSet(spec, "noise_factor", "NAN"), "");
+    EXPECT_TRUE(spec == ExperimentSpec{});
+}
+
+TEST(Spec, EveryKeyReportsItsKind)
+{
+    for (const auto &key : specKeys())
+        EXPECT_TRUE(specKeyKind(key).has_value()) << key;
+    EXPECT_EQ(specKeyKind("l1_fraction"), SpecKeyKind::Real);
+    EXPECT_EQ(specKeyKind("transfers"), SpecKeyKind::Int);
+    EXPECT_EQ(specKeyKind("adders"), SpecKeyKind::UInt);
+    EXPECT_EQ(specKeyKind("warm"), SpecKeyKind::Bool);
+    EXPECT_EQ(specKeyKind("policy"), SpecKeyKind::Text);
+    EXPECT_EQ(specKeyKind("no_such_key"), std::nullopt);
 }
 
 TEST(Spec, ParseReportsEveryProblem)

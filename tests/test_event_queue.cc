@@ -76,6 +76,92 @@ TEST(EventQueue, RunRespectsLimit)
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RunExecutesEventsExactlyAtLimit)
+{
+    // The limit is inclusive: "run until time would pass limit" means
+    // an event scheduled exactly at the limit still belongs to this
+    // run() call, including same-tick events it schedules in turn.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(50, [&] {
+        order.push_back(2);
+        eq.scheduleAfter(0, [&] { order.push_back(3); });
+        eq.scheduleAfter(1, [&] { order.push_back(4); });
+    });
+    eq.schedule(90, [&] { order.push_back(5); });
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, RunToLimitAdvancesTimeWithNothingToDo)
+{
+    // An explicit finite limit is a statement that simulated time
+    // passed, so now() lands on the limit even when no event was due;
+    // the default run() (drain) never invents time beyond the last
+    // executed event.
+    EventQueue eq;
+    EXPECT_EQ(eq.run(25), 25u);
+    EXPECT_EQ(eq.now(), 25u);
+    EXPECT_EQ(eq.run(), 25u);
+    EXPECT_EQ(eq.now(), 25u);
+}
+
+TEST(EventQueue, RunReentryAfterLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(60, [&] { ++fired; });
+    EXPECT_EQ(eq.run(50), 50u);
+    EXPECT_EQ(fired, 1);
+    // A later, smaller limit must not move time backwards or execute
+    // anything.
+    EXPECT_EQ(eq.run(20), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    // Re-entering with the default limit drains the remainder and
+    // leaves now() at the last executed event.
+    EXPECT_EQ(eq.run(), 60u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, SameTickStatScheduledDynamicallyStillPrecedesDefault)
+{
+    // A Stat event scheduled *during* the tick (by a Default handler)
+    // must still run before the remaining Default and Late events of
+    // that tick: priority outranks insertion order within a tick, so
+    // late-scheduled samplers cannot be starved behind state changes
+    // that were enqueued earlier.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(1);
+        eq.schedule(5, [&] { order.push_back(2); }, Priority::Stat);
+    });
+    eq.schedule(5, [&] { order.push_back(3); }, Priority::Default);
+    eq.schedule(5, [&] { order.push_back(4); }, Priority::Late);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunToLimitThenSchedulingAtNowIsLegal)
+{
+    // After run(limit) advanced time to the limit, the present tick
+    // must remain schedulable (only the strict past panics).
+    EventQueue eq;
+    eq.run(40);
+    int fired = 0;
+    eq.schedule(40, [&] { ++fired; });
+    eq.run(40);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
 TEST(EventQueue, StepExecutesOneEvent)
 {
     EventQueue eq;

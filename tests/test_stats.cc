@@ -1,5 +1,6 @@
 /** @file Unit tests for the statistics package. */
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -20,6 +21,20 @@ TEST(Scalar, StartsAtZeroAndAccumulates)
     EXPECT_DOUBLE_EQ(s.value(), 10.0);
     s.reset();
     EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Average, EmptyExtremaAreNaNNotZero)
+{
+    // A real minimum of 0.0 must be distinguishable from "no samples
+    // were ever taken"; empty extrema follow the NaN-safe ResultTable
+    // sort convention instead of masquerading as 0.0.
+    stats::Average a("lat", "latency");
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_TRUE(std::isnan(a.min()));
+    EXPECT_TRUE(std::isnan(a.max()));
+    a.sample(0.0);
+    EXPECT_EQ(a.min(), 0.0);
+    EXPECT_EQ(a.max(), 0.0);
 }
 
 TEST(Average, TracksMeanMinMax)
@@ -43,6 +58,23 @@ TEST(Average, ResetClears)
     a.reset();
     EXPECT_EQ(a.count(), 0u);
     EXPECT_EQ(a.mean(), 0.0);
+    // The previous run's extrema must not leak through reset().
+    EXPECT_TRUE(std::isnan(a.min()));
+    EXPECT_TRUE(std::isnan(a.max()));
+}
+
+TEST(Average, SamplingAfterResetReinitializesExtrema)
+{
+    stats::Average a("x", "");
+    a.sample(-5.0);
+    a.sample(100.0);
+    a.reset();
+    // A post-reset sample larger than the old min (and smaller than
+    // the old max) must win outright — stale extrema are a bug.
+    a.sample(7.0);
+    EXPECT_EQ(a.min(), 7.0);
+    EXPECT_EQ(a.max(), 7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 7.0);
 }
 
 TEST(Histogram, BucketsSamplesCorrectly)
