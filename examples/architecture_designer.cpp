@@ -15,6 +15,7 @@
 
 #include "api/experiment.hh"
 #include "api/grid.hh"
+#include "cli_util.hh"
 #include "cqla/area_model.hh"
 #include "cqla/hierarchy.hh"
 
@@ -26,13 +27,13 @@ main(int argc, char **argv)
     int n = 512;
     if (argc > 1) {
         // Strict parse: garbage is an error, not silently zero.
-        const auto parsed = api::parseInt(argv[1]);
-        if (!parsed || *parsed < 32 || *parsed > 4096) {
+        const auto parsed = cli::intArg(argv[1], 32, 4096);
+        if (!parsed) {
             std::fprintf(stderr, "usage: %s [bits 32..4096]\n",
                          argv[0]);
             return 1;
         }
-        n = static_cast<int>(*parsed);
+        n = *parsed;
     }
 
     const auto params = iontrap::Params::future();

@@ -16,6 +16,7 @@
 
 #include "api/experiment.hh"
 #include "api/grid.hh"
+#include "cli_util.hh"
 
 int
 main(int argc, char **argv)
@@ -27,8 +28,8 @@ main(int argc, char **argv)
     if (argc > 1) {
         // First positional argument: the adder width (strict parse —
         // garbage is an error, not silently zero).
-        const auto n = api::parseInt(argv[1]);
-        if (!n || *n < 8 || *n > 4096) {
+        const auto n = cli::intArg(argv[1], 8, 4096);
+        if (!n) {
             std::fprintf(stderr,
                          "usage: %s [adder-width 8..4096] "
                          "[key=value ...]\n",

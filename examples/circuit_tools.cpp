@@ -15,6 +15,7 @@
 
 #include "api/workload.hh"
 #include "circuit/dag.hh"
+#include "cli_util.hh"
 #include "circuit/text_format.hh"
 #include "sched/scheduler.hh"
 
@@ -51,13 +52,13 @@ main(int argc, char **argv)
     spec.n = 32;
     if (argc > 2) {
         // Strict width parsing: garbage is an error, not zero.
-        const auto n = api::parseInt(argv[2]);
-        if (!n || *n < 1 || *n > 4096) {
+        const auto n = cli::intArg(argv[2], 1, 4096);
+        if (!n) {
             std::fprintf(stderr, "bad width: %s\n", argv[2]);
             printUsage(argv[0]);
             return 1;
         }
-        spec.n = static_cast<int>(*n);
+        spec.n = *n;
     }
 
     Random rng(1);

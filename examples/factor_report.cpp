@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "api/experiment.hh"
+#include "cli_util.hh"
 #include "common/units.hh"
 #include "cqla/apps.hh"
 #include "cqla/area_model.hh"
@@ -25,8 +26,8 @@ main(int argc, char **argv)
     int n = 1024;
     if (argc > 1) {
         // Strict parse: garbage is an error, not silently zero.
-        const auto parsed = api::parseInt(argv[1]);
-        n = parsed ? static_cast<int>(*parsed) : -1;
+        const auto parsed = cli::intArg(argv[1], 32, 1024);
+        n = parsed ? *parsed : -1;
     }
     if (n != 32 && n != 64 && n != 128 && n != 256 && n != 512 &&
         n != 1024) {

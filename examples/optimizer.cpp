@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "api/experiment.hh"
+#include "cli_util.hh"
 #include "opt/frontier.hh"
 
 namespace {
@@ -43,6 +44,8 @@ printUsage(const char *prog)
         "                     0 = refine all (exhaustive; default 3)\n"
         "  --cache FILE       JSONL result cache (load on open, "
         "append on miss)\n"
+        "  --progress         stream per-point search progress to "
+        "stderr\n"
         "  --threads N        worker threads (default: all cores)\n"
         "  --seed S           base seed for spec-addressed RNG "
         "streams\n"
@@ -99,33 +102,31 @@ main(int argc, char **argv)
     std::vector<opt::FrontierAxis> axes;
     std::vector<std::string> spec_tokens = {"experiment=hierarchy"};
 
+    bool progress = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next_value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(1);
-            }
-            return argv[++i];
+        auto next_value = [&](const char *flag) {
+            return cli::flagValue(argc, argv, i, flag);
         };
         if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
             return 0;
         } else if (arg == "--threads") {
-            const auto parsed =
-                api::parseUInt(next_value("--threads"));
-            if (!parsed || *parsed > 4096) {
+            const auto parsed = cli::threadsArg(next_value("--threads"));
+            if (!parsed) {
                 std::fprintf(stderr, "--threads: bad value\n");
                 return 1;
             }
-            threads = static_cast<unsigned>(*parsed);
+            threads = *parsed;
         } else if (arg == "--seed") {
-            const auto parsed = api::parseUInt(next_value("--seed"));
+            const auto parsed = cli::seedArg(next_value("--seed"));
             if (!parsed) {
                 std::fprintf(stderr, "--seed: bad value\n");
                 return 1;
             }
             seed = *parsed;
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--budget") {
             const auto parsed =
                 api::parseUInt(next_value("--budget"));
@@ -167,8 +168,7 @@ main(int argc, char **argv)
                 return 1;
             }
             axes.push_back(std::move(axis));
-        } else if (arg.find('=') != std::string::npos &&
-                   arg.rfind("--", 0) != 0) {
+        } else if (cli::isSpecToken(arg)) {
             spec_tokens.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -217,6 +217,16 @@ main(int argc, char **argv)
         std::printf("cache: %s (%zu points loaded)\n",
                     cache_path.c_str(), cache.size());
     }
+
+    if (progress)
+        options.on_progress = [](const opt::FrontierProgress &p) {
+            std::fprintf(stderr,
+                         "progress: round %zu, point %zu/%zu "
+                         "(%zu evaluated)\n",
+                         p.round, p.round_done, p.round_total,
+                         p.evaluated);
+            return true;  // observe only; never cancel
+        };
 
     std::printf("%s %s over %zu axes on %u threads (base seed %llu, "
                 "budget %zu)...\n",

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Scenario: serve spec sweeps as a streaming JSONL backend.
+ *
+ * Reads one JSON request per stdin line and answers with JSONL
+ * records on stdout — rows stream out in index order while the sweep
+ * is still running, caller mistakes come back as structured error
+ * records, and a "limit" field cancels the job cooperatively after
+ * the requested number of rows. Pipe requests in, parse lines out:
+ *
+ *   $ echo '{"id":"r1","specs":["experiment=cache n=64"]}' \
+ *       | qmh_service
+ *   {"type":"accepted","id":"r1","total":1,"columns":[...]}
+ *   {"type":"row","id":"r1","index":0,"cells":{...}}
+ *   {"type":"done","id":"r1","rows":1,"total":1,"cancelled":false}
+ *
+ * The protocol lives in api/service.hh; this binary only owns the
+ * process concerns (flags, stdio, the exit summary).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/service.hh"
+#include "cli_util.hh"
+
+namespace {
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options] < requests.jsonl\n"
+        "  --threads N  worker threads (default: all cores)\n"
+        "  --seed S     default base seed (requests may override)\n"
+        "  --help       this message\n"
+        "request:  {\"op\":\"sweep\",\"id\":\"r1\",\"specs\":[...],"
+        "\"seed\":7,\"limit\":10}\n"
+        "responses: accepted / row (streamed) / error / done\n",
+        prog);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qmh;
+
+    unsigned threads = 0;
+    std::uint64_t seed = sweep::SweepOptions{}.base_seed;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char *flag) {
+            return cli::flagValue(argc, argv, i, flag);
+        };
+        if (arg == "--help" || arg == "-h") {
+            printUsage(argv[0]);
+            return 0;
+        } else if (arg == "--threads") {
+            const auto parsed = cli::threadsArg(next_value("--threads"));
+            if (!parsed) {
+                std::fprintf(stderr, "--threads: bad value\n");
+                return 1;
+            }
+            threads = *parsed;
+        } else if (arg == "--seed") {
+            const auto parsed = cli::seedArg(next_value("--seed"));
+            if (!parsed) {
+                std::fprintf(stderr, "--seed: bad value\n");
+                return 1;
+            }
+            seed = *parsed;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            printUsage(argv[0]);
+            return 1;
+        }
+    }
+
+    api::Session session({.threads = threads, .base_seed = seed});
+    const auto stats =
+        api::runService(session, std::cin, std::cout);
+    std::fprintf(stderr,
+                 "qmh_service: served %zu request(s), %zu row(s), "
+                 "%zu error record(s)\n",
+                 stats.requests, stats.rows, stats.errors);
+    return 0;
+}

@@ -17,9 +17,10 @@
 #include <string>
 #include <vector>
 
-#include "api/experiment.hh"
 #include "api/grid.hh"
+#include "api/session.hh"
 #include "api/workload.hh"
+#include "cli_util.hh"
 
 namespace {
 
@@ -36,6 +37,7 @@ printUsage(const char *prog)
         "  --points SIZE    built-in hierarchy grid: small | full\n"
         "                   (used when no --axis is given)\n"
         "  --seed S         base seed for per-point RNG streams\n"
+        "  --progress       stream per-point progress to stderr\n"
         "  --out PREFIX     write PREFIX.csv and PREFIX.json\n"
         "  --list-keys      print every spec key\n"
         "  --list-workloads print the workload registry\n"
@@ -73,17 +75,14 @@ main(int argc, char **argv)
     std::string out_prefix;
     std::string rank_column;
     bool small_grid = false;
+    bool progress = false;
     std::vector<std::string> spec_tokens = {"experiment=hierarchy"};
     std::vector<std::string> axis_args;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        auto next_value = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(1);
-            }
-            return argv[++i];
+        auto next_value = [&](const char *flag) {
+            return cli::flagValue(argc, argv, i, flag);
         };
         if (arg == "--help" || arg == "-h") {
             printUsage(argv[0]);
@@ -99,20 +98,21 @@ main(int argc, char **argv)
                             generator.description.c_str());
             return 0;
         } else if (arg == "--threads") {
-            const auto parsed =
-                api::parseUInt(next_value("--threads"));
-            if (!parsed || *parsed > 4096) {
+            const auto parsed = cli::threadsArg(next_value("--threads"));
+            if (!parsed) {
                 std::fprintf(stderr, "--threads: bad value\n");
                 return 1;
             }
-            threads = static_cast<unsigned>(*parsed);
+            threads = *parsed;
         } else if (arg == "--seed") {
-            const auto parsed = api::parseUInt(next_value("--seed"));
+            const auto parsed = cli::seedArg(next_value("--seed"));
             if (!parsed) {
                 std::fprintf(stderr, "--seed: bad value\n");
                 return 1;
             }
             seed = *parsed;
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--out") {
             out_prefix = next_value("--out");
         } else if (arg == "--rank") {
@@ -131,8 +131,7 @@ main(int argc, char **argv)
                              size);
                 return 1;
             }
-        } else if (arg.find('=') != std::string::npos &&
-                   arg.rfind("--", 0) != 0) {
+        } else if (cli::isSpecToken(arg)) {
             spec_tokens.push_back(arg);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -162,35 +161,48 @@ main(int argc, char **argv)
         addDefaultHierarchyAxes(grid, small_grid);
 
     const auto specs = grid.expand();
-    // Validate every expanded point, not just the first: an axis can
-    // put only its later values out of range (or even sweep the
-    // experiment kind itself), and runSpecSweep treats invalid specs
-    // as internal bugs (panic), not user errors.
-    for (const auto &spec : specs) {
-        const auto errors = api::makeExperiment(spec)->validate();
-        if (!errors.empty()) {
-            for (const auto &error : errors)
-                std::fprintf(stderr, "error: %s (in %s)\n",
-                             error.c_str(),
-                             api::printSpec(spec).c_str());
-            return 1;
-        }
-        if (spec.kind != grid.base.kind) {
-            std::fprintf(stderr,
-                         "error: cannot sweep 'experiment' — one "
-                         "sweep emits one table\n");
-            return 1;
-        }
-    }
 
-    sweep::SweepRunner runner({.threads = threads, .base_seed = seed});
+    // Submit through a session: validation problems (an axis putting
+    // later values out of range, or sweeping the experiment kind
+    // itself into a mixed table) come back as one typed error with
+    // per-spec diagnostics instead of a panic.
+    api::Session session({.threads = threads, .base_seed = seed});
+    auto submitted = session.submit(specs);
+    if (!submitted.ok()) {
+        const auto &error = submitted.error();
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     api::errorCodeName(error.code),
+                     error.message.c_str());
+        for (const auto &detail : error.details)
+            std::fprintf(stderr, "  %s\n", detail.c_str());
+        return 1;
+    }
+    auto job = submitted.value();
+
     std::printf("sweeping %zu %s configurations on %u threads "
                 "(base seed %llu)...\n",
                 specs.size(), api::kindName(grid.base.kind),
-                runner.threadCount(),
+                session.threadCount(),
                 static_cast<unsigned long long>(seed));
     const auto start = std::chrono::steady_clock::now();
-    auto table = api::runSpecSweep(runner, specs);
+    if (progress) {
+        // Completed rows stream in index order while later points
+        // are still in flight; report each as it lands.
+        while (job.nextRow()) {
+            const auto snapshot = job.progress();
+            std::fprintf(stderr, "progress: %zu/%zu points\r",
+                         snapshot.done, snapshot.total);
+        }
+        std::fprintf(stderr, "\n");
+    }
+    auto result = job.wait();
+    if (result.failure) {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     api::errorCodeName(result.failure->code),
+                     result.failure->message.c_str());
+        return 1;
+    }
+    auto table = std::move(result.table);
     const auto elapsed =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "api/session.hh"
 #include "api/workload.hh"
 #include "common/logging.hh"
 #include "cqla/hierarchy_sim.hh"
@@ -274,54 +275,66 @@ makeExperiment(const ExperimentSpec &spec)
               static_cast<int>(spec.kind));
 }
 
-std::vector<std::unique_ptr<Experiment>>
-makeValidatedExperiments(const std::vector<ExperimentSpec> &specs)
+std::optional<Error>
+checkExperimentBatch(
+    const std::vector<std::unique_ptr<Experiment>> &experiments)
+{
+    std::vector<std::string> invalid;
+    for (std::size_t i = 0; i < experiments.size(); ++i)
+        for (const auto &diagnostic : experiments[i]->validate())
+            invalid.push_back("spec " + std::to_string(i) + " ('" +
+                              printSpec(experiments[i]->spec()) +
+                              "'): " + diagnostic);
+    if (!invalid.empty())
+        return Error{ErrorCode::InvalidSpec,
+                     std::to_string(invalid.size()) +
+                         " validation error(s) in the submitted specs",
+                     std::move(invalid)};
+    for (const auto &experiment : experiments)
+        if (experiment->columns() != experiments.front()->columns())
+            return Error{
+                ErrorCode::MixedKinds,
+                "mixed experiment kinds in one sweep (" +
+                    experiments.front()->name() + " vs " +
+                    experiment->name() + ")",
+                {}};
+    return std::nullopt;
+}
+
+Outcome<std::vector<std::unique_ptr<Experiment>>>
+validateExperiments(const std::vector<ExperimentSpec> &specs)
 {
     std::vector<std::unique_ptr<Experiment>> experiments;
     experiments.reserve(specs.size());
-    for (const auto &spec : specs) {
-        auto experiment = makeExperiment(spec);
-        const auto errors = experiment->validate();
-        if (!errors.empty())
-            qmh_panic("invalid spec '", printSpec(spec),
-                      "': ", errors.front());
-        experiments.push_back(std::move(experiment));
-    }
-    if (experiments.empty())
-        return experiments;
-    const auto columns = experiments.front()->columns();
-    for (const auto &experiment : experiments)
-        if (experiment->columns() != columns)
-            qmh_panic("mixed experiment kinds in one sweep (",
-                      experiments.front()->name(), " vs ",
-                      experiment->name(), ")");
+    for (const auto &spec : specs)
+        experiments.push_back(makeExperiment(spec));
+    if (auto error = checkExperimentBatch(experiments))
+        return std::move(*error);
     return experiments;
+}
+
+std::vector<std::unique_ptr<Experiment>>
+makeValidatedExperiments(const std::vector<ExperimentSpec> &specs)
+{
+    auto experiments = validateExperiments(specs);
+    if (!experiments.ok())
+        qmh_panic("makeValidatedExperiments: ",
+                  experiments.error().describe());
+    return std::move(experiments).value();
 }
 
 sweep::ResultTable
 runSpecSweep(sweep::SweepRunner &runner,
              const std::vector<ExperimentSpec> &specs)
 {
-    if (specs.empty())
-        return sweep::ResultTable({"spec", "seed"});
-
-    auto experiments = makeValidatedExperiments(specs);
-    const auto columns = experiments.front()->columns();
-    const std::uint64_t base_seed = runner.options().base_seed;
-    auto rows = runner.map(
-        experiments.size(),
-        [&experiments, base_seed](std::size_t i, Random &rng) {
-            auto row = experiments[i]->run(rng);
-            row.emplace_back(sweep::pointSeed(base_seed, i));
-            return row;
-        });
-
-    auto labelled = columns;
-    labelled.emplace_back("seed");
-    sweep::ResultTable table(std::move(labelled));
-    for (auto &row : rows)
-        table.addRow(std::move(row));
-    return table;
+    Session session(runner);
+    auto submitted = session.submit(specs);
+    if (!submitted.ok())
+        qmh_panic("runSpecSweep: ", submitted.error().describe());
+    auto result = submitted.value().wait();
+    if (result.failure)
+        qmh_panic("runSpecSweep: ", result.failure->describe());
+    return std::move(result.table);
 }
 
 sweep::ResultTable

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "api/outcome.hh"
 #include "api/spec.hh"
 #include "common/random.hh"
 #include "sweep/emit.hh"
@@ -70,11 +71,29 @@ class Experiment
 std::unique_ptr<Experiment> makeExperiment(const ExperimentSpec &spec);
 
 /**
- * Build the experiments for a one-table sweep: every spec must
- * validate and all must share one column schema; violations panic
- * (call validate() per spec first for recoverable diagnostics).
- * Shared by runSpecSweep and the opt:: cached/adaptive runners so
- * their notion of "runnable batch" cannot drift apart.
+ * The typed checks a runnable batch must pass: every experiment
+ * validates (ErrorCode::InvalidSpec, one detail per diagnostic,
+ * indexed so duplicate spec prints stay tellable apart) and all
+ * share one column schema (ErrorCode::MixedKinds). The single
+ * source of truth for Session::submit (both overloads) and
+ * validateExperiments. nullopt = runnable.
+ */
+std::optional<Error> checkExperimentBatch(
+    const std::vector<std::unique_ptr<Experiment>> &experiments);
+
+/**
+ * Build the experiments for a one-table sweep with typed errors
+ * (makeExperiment per spec, then checkExperimentBatch). Shared by
+ * Session::submit, runSpecSweep and the opt:: cached/adaptive
+ * runners so their notion of "runnable batch" cannot drift apart.
+ */
+Outcome<std::vector<std::unique_ptr<Experiment>>>
+validateExperiments(const std::vector<ExperimentSpec> &specs);
+
+/**
+ * validateExperiments with the legacy contract: violations panic.
+ * For recoverable diagnostics use validateExperiments (or submit
+ * through an api::Session, which returns the typed error).
  */
 std::vector<std::unique_ptr<Experiment>>
 makeValidatedExperiments(const std::vector<ExperimentSpec> &specs);
@@ -83,7 +102,9 @@ makeValidatedExperiments(const std::vector<ExperimentSpec> &specs);
  * Run every spec across @p runner and emit one table (columns of the
  * specs' kind plus a trailing "seed" column with each point's derived
  * seed). All specs must validate and be of one kind; violations
- * panic — call validate() first for recoverable diagnostics.
+ * panic — validate first (or Session::submit) for recoverable
+ * diagnostics. Implemented as a blocking session job, so the table
+ * is bit-identical to draining a Session submission of @p specs.
  */
 sweep::ResultTable
 runSpecSweep(sweep::SweepRunner &runner,

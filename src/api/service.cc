@@ -1,0 +1,212 @@
+#include "service.hh"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/json.hh"
+#include "sweep/emit.hh"
+
+namespace qmh {
+namespace api {
+
+namespace {
+
+Error
+badRequest(std::string message)
+{
+    return Error{ErrorCode::BadRequest, std::move(message), {}};
+}
+
+/** Non-negative integral JSON number (or decimal string) as u64. */
+std::optional<std::uint64_t>
+asUInt(const json::Value &value)
+{
+    if (value.isString())
+        return parseUInt(value.string());
+    if (!value.isNumber())
+        return std::nullopt;
+    const double d = value.number();
+    if (!(d >= 0.0) || d != std::floor(d) || d > 9007199254740992.0)
+        return std::nullopt;  // 2^53: past that, doubles drop seeds
+    return static_cast<std::uint64_t>(d);
+}
+
+void
+writeError(std::ostream &out, const std::string &id,
+           const Error &error)
+{
+    out << "{\"type\":\"error\",\"id\":" << sweep::jsonQuote(id)
+        << ",\"code\":\"" << errorCodeName(error.code)
+        << "\",\"message\":" << sweep::jsonQuote(error.message)
+        << ",\"details\":[";
+    for (std::size_t i = 0; i < error.details.size(); ++i)
+        out << (i ? "," : "") << sweep::jsonQuote(error.details[i]);
+    out << "]}" << std::endl;
+}
+
+} // namespace
+
+Outcome<ServiceRequest>
+parseServiceRequest(const std::string &line)
+{
+    const auto parsed = json::parse(line);
+    if (!parsed.ok())
+        return badRequest("malformed JSON at byte " +
+                          std::to_string(parsed.offset) + ": " +
+                          parsed.error);
+    return decodeServiceRequest(parsed.value);
+}
+
+Outcome<ServiceRequest>
+decodeServiceRequest(const json::Value &root)
+{
+    if (!root.isObject())
+        return badRequest("request must be a JSON object");
+
+    ServiceRequest request;
+    if (const auto *id = root.find("id")) {
+        if (!id->isString())
+            return badRequest("'id' must be a string");
+        request.id = id->string();
+    }
+    if (const auto *op = root.find("op")) {
+        if (!op->isString() || op->string() != "sweep")
+            return badRequest("unknown op (only \"sweep\" is served)");
+    }
+    if (const auto *seed = root.find("seed")) {
+        const auto value = asUInt(*seed);
+        if (!value)
+            return badRequest("'seed' must be a non-negative integer");
+        request.seed = *value;
+    }
+    if (const auto *limit = root.find("limit")) {
+        const auto value = asUInt(*limit);
+        if (!value)
+            return badRequest(
+                "'limit' must be a non-negative integer");
+        request.limit = static_cast<std::size_t>(*value);
+    }
+
+    const auto *specs = root.find("specs");
+    if (!specs || !specs->isArray())
+        return badRequest("'specs' must be an array of spec strings");
+    std::vector<std::string> diagnostics;
+    for (std::size_t i = 0; i < specs->items().size(); ++i) {
+        const auto &item = specs->items()[i];
+        if (!item.isString())
+            return badRequest("specs[" + std::to_string(i) +
+                              "] is not a string");
+        const auto spec = parseSpec(item.string());
+        for (const auto &problem : spec.errors)
+            diagnostics.push_back("specs[" + std::to_string(i) +
+                                  "]: " + problem);
+        request.specs.push_back(spec.spec);
+    }
+    if (!diagnostics.empty())
+        return Error{ErrorCode::InvalidSpec,
+                     std::to_string(diagnostics.size()) +
+                         " spec parse error(s)",
+                     std::move(diagnostics)};
+    return request;
+}
+
+void
+serveRequest(Session &session, const ServiceRequest &request,
+             std::ostream &out, ServiceStats &stats)
+{
+    SubmitOptions options;
+    options.base_seed = request.seed;
+    auto submitted = session.submit(request.specs, std::move(options));
+    if (!submitted.ok()) {
+        writeError(out, request.id, submitted.error());
+        ++stats.errors;
+        return;
+    }
+    auto job = submitted.value();
+
+    out << "{\"type\":\"accepted\",\"id\":"
+        << sweep::jsonQuote(request.id)
+        << ",\"total\":" << job.totalPoints() << ",\"columns\":[";
+    const auto &columns = job.columns();
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        out << (c ? "," : "") << sweep::jsonQuote(columns[c]);
+    out << "]}" << std::endl;
+
+    std::size_t streamed = 0;
+    bool stream_ended = false;  // nextRow ran dry before the limit
+    while (request.limit == 0 || streamed < request.limit) {
+        auto row = job.nextRow();
+        if (!row) {
+            stream_ended = true;
+            break;
+        }
+        out << "{\"type\":\"row\",\"id\":"
+            << sweep::jsonQuote(request.id)
+            << ",\"index\":" << streamed << ",\"cells\":{";
+        for (std::size_t c = 0; c < row->size(); ++c)
+            out << (c ? "," : "") << sweep::jsonQuote(columns[c])
+                << ":" << (*row)[c].toJson();
+        out << "}}" << std::endl;
+        ++streamed;
+    }
+    job.cancel();  // no-op when every row was streamed
+    const auto result = job.wait();
+    // Report a failure only when it cut the requested stream short.
+    // A point that failed in the cancelled tail (claimed in-flight
+    // after a limit cutoff, timing-dependent) concerns rows the
+    // caller never asked for — surfacing it would make the response
+    // scheduling-dependent and mislabel a satisfied request.
+    if (stream_ended && result.failure) {
+        writeError(out, request.id, *result.failure);
+        ++stats.errors;
+    }
+
+    // "cancelled" reports the caller-visible contract — were any rows
+    // withheld? — not the internal flag, which is also set by the
+    // harmless cancel() above after a fully streamed job.
+    const bool truncated = streamed < job.totalPoints();
+    out << "{\"type\":\"done\",\"id\":" << sweep::jsonQuote(request.id)
+        << ",\"rows\":" << streamed
+        << ",\"total\":" << job.totalPoints() << ",\"cancelled\":"
+        << (truncated ? "true" : "false") << "}" << std::endl;
+    stats.rows += streamed;
+}
+
+ServiceStats
+runService(Session &session, std::istream &in, std::ostream &out)
+{
+    ServiceStats stats;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        const auto parsed = json::parse(line);
+        if (!parsed.ok()) {
+            writeError(out, "",
+                       badRequest("malformed JSON at byte " +
+                                  std::to_string(parsed.offset) +
+                                  ": " + parsed.error));
+            ++stats.errors;
+            continue;
+        }
+        auto request = decodeServiceRequest(parsed.value);
+        if (!request.ok()) {
+            // A rejected-but-well-formed line still names the job it
+            // answers: echo its id on the error record.
+            std::string id;
+            if (const auto *found = parsed.value.find("id");
+                found && found->isString())
+                id = found->string();
+            writeError(out, id, request.error());
+            ++stats.errors;
+            continue;
+        }
+        ++stats.requests;
+        serveRequest(session, request.value(), out, stats);
+    }
+    return stats;
+}
+
+} // namespace api
+} // namespace qmh

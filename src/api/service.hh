@@ -1,0 +1,99 @@
+/**
+ * @file
+ * JSONL request/response protocol over a Session: the servable
+ * backend behind examples/qmh_service.cpp.
+ *
+ * One request per input line, one JSON record per output line:
+ *
+ *   -> {"op":"sweep","id":"r1","specs":["experiment=cache n=64",
+ *       "experiment=cache n=128"],"seed":7,"limit":10}
+ *   <- {"type":"accepted","id":"r1","total":2,"columns":[...]}
+ *   <- {"type":"row","id":"r1","index":0,"cells":{...}}
+ *   <- {"type":"row","id":"r1","index":1,"cells":{...}}
+ *   <- {"type":"done","id":"r1","rows":2,"total":2,
+ *       "cancelled":false}
+ *
+ * Rows stream in index order as points complete, so a slow sweep
+ * produces output long before it finishes. "limit" caps the streamed
+ * rows: once reached the job is cancelled cooperatively and the done
+ * record reports "cancelled":true. Any caller mistake — malformed
+ * JSON, unknown op, a spec that fails validation — emits a structured
+ * error record ({"type":"error","id":...,"code":...,"message":...,
+ * "details":[...]}) and the loop keeps serving; the process never
+ * aborts on bad input.
+ *
+ * Framing rule: a request that was *accepted* always terminates with
+ * a "done" record (an execution failure emits "error" and then
+ * "done"); a request rejected before acceptance terminates with its
+ * "error" record alone. Clients should treat "done", and "error"
+ * not preceded by a matching "accepted", as end-of-request.
+ *
+ * Determinism: "seed" pins the job's base seed, so two identical
+ * requests stream byte-identical row records regardless of thread
+ * count.
+ */
+
+#ifndef QMH_API_SERVICE_HH
+#define QMH_API_SERVICE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/outcome.hh"
+#include "api/session.hh"
+#include "api/spec.hh"
+#include "common/json.hh"
+
+namespace qmh {
+namespace api {
+
+/** One decoded sweep request. */
+struct ServiceRequest
+{
+    std::string id;                     ///< echoed in every record
+    std::vector<ExperimentSpec> specs;  ///< points, in request order
+    std::optional<std::uint64_t> seed;  ///< base-seed override
+    std::size_t limit = 0;              ///< max rows streamed; 0 = all
+};
+
+/**
+ * Decode one request line. Typed errors (never a panic): BadRequest
+ * for malformed JSON / wrong field shapes / unknown op, InvalidSpec
+ * (one detail per diagnostic) for specs that fail to parse. Spec
+ * *validation* (ranges, workload existence) happens at submit time.
+ */
+Outcome<ServiceRequest> parseServiceRequest(const std::string &line);
+
+/** parseServiceRequest over an already-parsed JSON document (the
+ *  serve loop parses each line exactly once this way). */
+Outcome<ServiceRequest> decodeServiceRequest(const json::Value &root);
+
+/** Statistics of one runService loop. */
+struct ServiceStats
+{
+    std::size_t requests = 0;  ///< well-formed requests served
+    std::size_t errors = 0;    ///< error records emitted (any source)
+    std::size_t rows = 0;      ///< row records streamed
+};
+
+/**
+ * Run one request on @p session, streaming records to @p out and
+ * accumulating row/error record counts into @p stats.
+ */
+void serveRequest(Session &session, const ServiceRequest &request,
+                  std::ostream &out, ServiceStats &stats);
+
+/**
+ * Serve JSONL requests from @p in until EOF (blank lines ignored),
+ * writing records to @p out. Errors are records, not exits.
+ */
+ServiceStats runService(Session &session, std::istream &in,
+                        std::ostream &out);
+
+} // namespace api
+} // namespace qmh
+
+#endif // QMH_API_SERVICE_HH

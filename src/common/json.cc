@@ -1,0 +1,452 @@
+#include "json.hh"
+
+#include <charconv>
+
+#include "common/logging.hh"
+
+namespace qmh {
+namespace json {
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char *
+typeName(Value::Type type)
+{
+    switch (type) {
+      case Value::Type::Null:   return "null";
+      case Value::Type::Bool:   return "bool";
+      case Value::Type::Number: return "number";
+      case Value::Type::String: return "string";
+      case Value::Type::Array:  return "array";
+      case Value::Type::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+typeMismatch(Value::Type actual, Value::Type wanted)
+{
+    qmh_panic("json::Value: accessed a ", typeName(actual), " as a ",
+              typeName(wanted));
+}
+
+} // namespace
+
+bool
+Value::boolean() const
+{
+    if (_type != Type::Bool)
+        typeMismatch(_type, Type::Bool);
+    return _bool;
+}
+
+double
+Value::number() const
+{
+    if (_type != Type::Number)
+        typeMismatch(_type, Type::Number);
+    return _number;
+}
+
+const std::string &
+Value::string() const
+{
+    if (_type != Type::String)
+        typeMismatch(_type, Type::String);
+    return _string;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    if (_type != Type::Array)
+        typeMismatch(_type, Type::Array);
+    return _items;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (_type != Type::Object)
+        typeMismatch(_type, Type::Object);
+    return _members;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    const Value *hit = nullptr;
+    for (const auto &[name, value] : _members)
+        if (name == key)
+            hit = &value;
+    return hit;
+}
+
+Value
+Value::makeNull()
+{
+    return Value();
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v._type = Type::Bool;
+    v._bool = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double d)
+{
+    Value v;
+    v._type = Type::Number;
+    v._number = d;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v._type = Type::String;
+    v._string = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> items)
+{
+    Value v;
+    v._type = Type::Array;
+    v._items = std::move(items);
+    return v;
+}
+
+Value
+Value::makeObject(std::vector<std::pair<std::string, Value>> members)
+{
+    Value v;
+    v._type = Type::Object;
+    v._members = std::move(members);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int max_depth = 64;
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error = {};
+
+    bool
+    fail(const std::string &message)
+    {
+        if (error.empty())
+            error = message;
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    /** Append code point @p cp to @p out as UTF-8. */
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    hex4(unsigned &value)
+    {
+        if (pos + 4 > text.size())
+            return fail("truncated \\u escape");
+        value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text[pos++];
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape digit");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        for (;;) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  if (!hex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // High surrogate: a low surrogate must follow.
+                      if (!consume('\\') || !consume('u'))
+                          return fail("lone high surrogate");
+                      unsigned low = 0;
+                      if (!hex4(low))
+                          return false;
+                      if (low < 0xDC00 || low > 0xDFFF)
+                          return fail("bad low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (low - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("lone low surrogate");
+                  }
+                  appendUtf8(out, cp);
+                  break;
+              }
+              default:
+                  return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        // Validate the strict JSON grammar first; from_chars is more
+        // permissive (it would take "1.", hex forms, "inf").
+        const std::size_t start = pos;
+        if (consume('-') && pos >= text.size())
+            return fail("truncated number");
+        if (consume('0')) {
+            // no leading zeros
+        } else if (pos < text.size() && text[pos] >= '1' &&
+                   text[pos] <= '9') {
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        } else {
+            return fail("bad number");
+        }
+        if (consume('.')) {
+            if (pos >= text.size() || text[pos] < '0' ||
+                text[pos] > '9')
+                return fail("bad number fraction");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() || text[pos] < '0' ||
+                text[pos] > '9')
+                return fail("bad number exponent");
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+        }
+        const auto result = std::from_chars(
+            text.data() + start, text.data() + pos, out);
+        if (result.ec != std::errc() ||
+            result.ptr != text.data() + pos)
+            return fail("number out of range");
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > max_depth)
+            return fail("nesting too deep");
+        skipWhitespace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            std::vector<std::pair<std::string, Value>> members;
+            skipWhitespace();
+            if (!consume('}')) {
+                for (;;) {
+                    skipWhitespace();
+                    std::string key;
+                    if (!parseString(key))
+                        return false;
+                    skipWhitespace();
+                    if (!consume(':'))
+                        return fail("expected ':'");
+                    Value value;
+                    if (!parseValue(value, depth + 1))
+                        return false;
+                    members.emplace_back(std::move(key),
+                                         std::move(value));
+                    skipWhitespace();
+                    if (consume(','))
+                        continue;
+                    if (consume('}'))
+                        break;
+                    return fail("expected ',' or '}'");
+                }
+            }
+            out = Value::makeObject(std::move(members));
+            return true;
+        }
+        if (c == '[') {
+            ++pos;
+            std::vector<Value> items;
+            skipWhitespace();
+            if (!consume(']')) {
+                for (;;) {
+                    Value value;
+                    if (!parseValue(value, depth + 1))
+                        return false;
+                    items.push_back(std::move(value));
+                    skipWhitespace();
+                    if (consume(','))
+                        continue;
+                    if (consume(']'))
+                        break;
+                    return fail("expected ',' or ']'");
+                }
+            }
+            out = Value::makeArray(std::move(items));
+            return true;
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Value::makeBool(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Value::makeBool(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Value::makeNull();
+            return true;
+        }
+        double number = 0.0;
+        if (!parseNumber(number))
+            return false;
+        out = Value::makeNumber(number);
+        return true;
+    }
+};
+
+} // namespace
+
+ParseResult
+parse(std::string_view text)
+{
+    Parser parser{text};
+    ParseResult result;
+    if (!parser.parseValue(result.value, 0)) {
+        result.error = parser.error;
+        result.offset = parser.pos;
+        return result;
+    }
+    parser.skipWhitespace();
+    if (parser.pos != text.size()) {
+        result.error = "trailing garbage after the value";
+        result.offset = parser.pos;
+        result.value = Value();
+    }
+    return result;
+}
+
+} // namespace json
+} // namespace qmh

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON value model and strict recursive-descent parser.
+ *
+ * The emit side of the repo (sweep::ResultTable, opt::ResultCache)
+ * writes JSON with hand-rolled printers; the service side needs the
+ * inverse: qmh_service requests arrive as JSON lines. This is a
+ * deliberately small, dependency-free reader for that protocol —
+ * full RFC 8259 value grammar (null/bool/number/string/array/object,
+ * \uXXXX escapes with surrogate pairs, strict trailing-garbage and
+ * depth checks) but no streaming, no comments, no mutation API.
+ * Object members preserve insertion order and duplicate keys resolve
+ * to the last occurrence via find().
+ */
+
+#ifndef QMH_COMMON_JSON_HH
+#define QMH_COMMON_JSON_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qmh {
+namespace json {
+
+/** One parsed JSON value (tree-owning). */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    /** Typed accessors; panic on a type mismatch (check first). */
+    bool boolean() const;
+    double number() const;
+    const std::string &string() const;
+    const std::vector<Value> &items() const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /**
+     * Member of an object by key; nullptr when absent or when this
+     * value is not an object. Duplicate keys: last wins.
+     */
+    const Value *find(std::string_view key) const;
+
+    /** Construction helpers (used by the parser and by tests). */
+    static Value makeNull();
+    static Value makeBool(bool b);
+    static Value makeNumber(double d);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> items);
+    static Value
+    makeObject(std::vector<std::pair<std::string, Value>> members);
+
+  private:
+    Type _type = Type::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<Value> _items;
+    std::vector<std::pair<std::string, Value>> _members;
+};
+
+/** Outcome of parsing one JSON document. */
+struct ParseResult
+{
+    Value value;
+    std::string error;   ///< empty = success
+    std::size_t offset = 0;  ///< byte offset of the error
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parse exactly one JSON value spanning all of @p text (surrounding
+ * whitespace allowed, trailing garbage is an error). Nesting beyond
+ * 64 levels is rejected.
+ */
+ParseResult parse(std::string_view text);
+
+} // namespace json
+} // namespace qmh
+
+#endif // QMH_COMMON_JSON_HH

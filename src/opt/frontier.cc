@@ -393,11 +393,38 @@ frontierSearch(sweep::SweepRunner &runner,
         specs.reserve(batch.size());
         for (const auto &candidate : batch)
             specs.push_back(candidate.spec);
-        const auto swept = runSpecSweepCached(runner, specs, cache);
+
+        // Stream the round through a cancellable sweep: stop after
+        // exactly the budget's remainder (proposal order, so the cut
+        // is deterministic on any thread count), or when the caller's
+        // observer asks out.
+        CachedSweepControl control;
+        control.row_limit = options.budget - evals.size();
+        bool user_cancelled = false;
+        if (options.on_progress) {
+            const std::size_t round = outcome.rounds;
+            const std::size_t before = evals.size();
+            const std::size_t proposed = batch.size();
+            control.on_row = [&options, &user_cancelled, round, before,
+                              proposed](std::size_t done,
+                                        std::size_t) {
+                FrontierProgress progress;
+                progress.round = round;
+                progress.evaluated = before + done;
+                progress.round_done = done;
+                progress.round_total = proposed;
+                if (options.on_progress(progress))
+                    return true;
+                user_cancelled = true;
+                return false;
+            };
+        }
+        const auto swept =
+            runSpecSweepCached(runner, specs, cache, control);
         outcome.simulated += swept.simulated;
         outcome.cached += swept.cached;
 
-        for (std::size_t j = 0; j < batch.size(); ++j) {
+        for (std::size_t j = 0; j < swept.table.rows(); ++j) {
             Eval eval;
             eval.spec = std::move(batch[j].spec);
             eval.key = std::move(batch[j].key);
@@ -417,6 +444,10 @@ frontierSearch(sweep::SweepRunner &runner,
                 row.push_back(swept.table.cell(j, c));
             outcome.table.addRow(std::move(row));
             evals.push_back(std::move(eval));
+        }
+        if (user_cancelled) {
+            outcome.cancelled = true;
+            break;
         }
         if (evals.size() >= options.budget)
             break;
@@ -439,13 +470,15 @@ frontierSearch(sweep::SweepRunner &runner,
 
         // Propose, per frontier point and axis, the adjacent explored
         // values (pattern-search moves) and the lattice midpoints
-        // toward them (refinement); everything else stays fixed.
+        // toward them (refinement); everything else stays fixed. The
+        // batch is not trimmed to the budget here — the next round's
+        // row_limit cuts it at exactly the remainder (the sweep
+        // neither submits nor simulates past a static limit), which
+        // evaluates the same prefix in the same order.
         batch.clear();
-        bool budget_hit = false;
-        for (std::size_t p = 0; p < n_pick && !budget_hit; ++p) {
+        for (std::size_t p = 0; p < n_pick; ++p) {
             const auto &eval = evals[order[p]];
-            for (std::size_t a = 0;
-                 a < states.size() && !budget_hit; ++a) {
+            for (std::size_t a = 0; a < states.size(); ++a) {
                 auto &state = states[a];
                 const auto here = state.seen.find(eval.coord[a]);
                 std::vector<std::size_t> proposals;
@@ -489,11 +522,6 @@ frontierSearch(sweep::SweepRunner &runner,
                     }
                     known.insert(candidate.key);
                     batch.push_back(std::move(candidate));
-                    if (evals.size() + batch.size() >=
-                        options.budget) {
-                        budget_hit = true;
-                        break;
-                    }
                 }
             }
         }

@@ -32,6 +32,7 @@
 #define QMH_OPT_FRONTIER_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@ struct FrontierAxis
     int coarse = 3;   ///< initial samples across [lo, hi] (>= 2)
 };
 
+/** Live search state, reported once per incorporated point. */
+struct FrontierProgress
+{
+    std::size_t round = 0;        ///< 1-based refinement round
+    std::size_t evaluated = 0;    ///< points incorporated, all rounds
+    std::size_t round_done = 0;   ///< points incorporated this round
+    std::size_t round_total = 0;  ///< points proposed this round
+};
+
 /** Search configuration. */
 struct FrontierOptions
 {
@@ -59,6 +69,14 @@ struct FrontierOptions
     /** Top-ranked points refined per round; 0 = refine every point
      *  (exhaustive lattice enumeration under a generous budget). */
     std::size_t frontier = 3;
+    /**
+     * Streamed per incorporated point; return false to cancel the
+     * search (the in-flight round's remaining points are abandoned
+     * and the outcome ranks what was incorporated so far, which is
+     * deterministic for a deterministic callback). Not part of the
+     * search's identity: a pure observer changes nothing.
+     */
+    std::function<bool(const FrontierProgress &)> on_progress;
 };
 
 /** What the search found and what it cost. */
@@ -74,6 +92,7 @@ struct FrontierOutcome
     std::size_t cached = 0;         ///< of those, cache replays
     std::size_t rounds = 0;
     std::size_t skipped_invalid = 0; ///< candidates failing validate()
+    bool cancelled = false;          ///< on_progress stopped the search
 };
 
 /**
@@ -114,6 +133,10 @@ validateFrontier(const api::ExperimentSpec &base,
  * Deterministic for a fixed (base spec, axes, options, base seed):
  * the same points are evaluated in the same order on any thread
  * count, and a warm cache changes only simulated/cached counts.
+ * Rounds run as cancellable session sweeps: when a round would
+ * overrun the point budget it is cut off mid-flight after exactly
+ * the budgeted number of rows (in proposal order), instead of
+ * simulating the whole round and discarding the excess.
  */
 FrontierOutcome
 frontierSearch(sweep::SweepRunner &runner,

@@ -63,6 +63,13 @@ class SweepRunner
     const SweepOptions &options() const { return _options; }
 
     /**
+     * The underlying pool, for job-oriented execution layered on a
+     * shared runner (api::Session). Note the pool's wait() covers
+     * every queued task, not one caller's batch.
+     */
+    ThreadPool &pool() { return _pool; }
+
+    /**
      * Evaluate @p fn(index, rng) for index in [0, n_points) and return
      * the results in index order. @p fn must be callable concurrently
      * from multiple threads and must not touch shared mutable state;

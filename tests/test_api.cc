@@ -360,7 +360,7 @@ TEST(SpecSweepDeath, InvalidSpecPanics)
     bad.kind = ExperimentKind::Cache;
     bad.workload = "bogus";
     EXPECT_DEATH(runSpecSweep({bad}, {.threads = 1}),
-                 "invalid spec");
+                 "validation error.*unknown workload 'bogus'");
 }
 
 TEST(SpecSweepDeath, MixedKindsPanic)

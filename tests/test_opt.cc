@@ -270,6 +270,82 @@ TEST(CachedSweep, DuplicateSpecsEvaluateOnce)
     }
 }
 
+TEST(CachedSweep, RowLimitCutsADeterministicPrefix)
+{
+    const auto specs = montecarloSpecs();
+    sweep::SweepRunner runner({.threads = 4});
+    const auto full = runSpecSweepCached(runner, specs, nullptr);
+    ASSERT_EQ(full.table.rows(), specs.size());
+    EXPECT_FALSE(full.cancelled);
+
+    CachedSweepControl control;
+    control.row_limit = 2;
+    const auto cut =
+        runSpecSweepCached(runner, specs, nullptr, control);
+    EXPECT_TRUE(cut.cancelled);
+    EXPECT_EQ(cut.simulated, 2u);
+    ASSERT_EQ(cut.table.rows(), 2u);
+    // The cut result is exactly the leading rows of the full sweep,
+    // bit for bit — the in-flight points beyond the limit were
+    // discarded, not reordered in.
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < full.table.columns(); ++c)
+            EXPECT_EQ(cut.table.cell(r, c).toString(),
+                      full.table.cell(r, c).toString());
+}
+
+TEST(CachedSweep, OnRowObservesAndCancels)
+{
+    const auto specs = montecarloSpecs();
+    sweep::SweepRunner runner({.threads = 2});
+    std::vector<std::size_t> seen;
+    CachedSweepControl control;
+    control.on_row = [&seen, &specs](std::size_t done,
+                                     std::size_t total) {
+        EXPECT_EQ(total, specs.size());
+        seen.push_back(done);
+        return done < 3;  // cancel after the third row
+    };
+    const auto outcome =
+        runSpecSweepCached(runner, specs, nullptr, control);
+    EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3}));
+    EXPECT_TRUE(outcome.cancelled);
+    EXPECT_EQ(outcome.table.rows(), 3u);
+}
+
+TEST(CachedSweep, CancelledRunCachesOnlyTheIncorporatedPrefix)
+{
+    // Cache content must be a function of the incorporated prefix
+    // alone: points that were in flight when the cutoff hit are
+    // never upserted, so a warm rerun of the same limited sweep is
+    // all hits and a rerun of the full sweep simulates exactly the
+    // tail.
+    const auto path = tempPath("opt_cache_cutoff.jsonl");
+    const auto specs = montecarloSpecs();
+    sweep::SweepRunner runner({.threads = 4});
+    CachedSweepControl control;
+    control.row_limit = 2;
+    {
+        ResultCache cache;
+        ASSERT_EQ(cache.open(path, runner.options().base_seed), "");
+        const auto cold =
+            runSpecSweepCached(runner, specs, &cache, control);
+        EXPECT_EQ(cold.simulated, 2u);
+    }
+    {
+        ResultCache cache;
+        ASSERT_EQ(cache.open(path, runner.options().base_seed), "");
+        EXPECT_EQ(cache.size(), 2u);
+        const auto warm =
+            runSpecSweepCached(runner, specs, &cache, control);
+        EXPECT_EQ(warm.simulated, 0u);
+        EXPECT_EQ(warm.cached, 2u);
+        const auto rest = runSpecSweepCached(runner, specs, &cache);
+        EXPECT_EQ(rest.simulated, specs.size() - 2);
+        EXPECT_EQ(rest.cached, 2u);
+    }
+}
+
 TEST(Frontier, LatticeIsTheCoarseGridPlusDyadicMidpoints)
 {
     const FrontierAxis real{"l1_fraction", 0.25, 1.0, 3};
@@ -421,6 +497,70 @@ TEST(Frontier, GreedySearchReachesBruteOptimumWithFewerPoints)
                                       nullptr);
     EXPECT_DOUBLE_EQ(found.best_objective, brute_best);
     EXPECT_LT(found.simulated, brute_table.rows());
+}
+
+TEST(Frontier, ProgressStreamsMonotonicallyAndObservesEveryPoint)
+{
+    const auto base = api::parseSpec("experiment=bandwidth").spec;
+    const std::vector<FrontierAxis> axes = {
+        {"utilization", 0.25, 1.0, 3}, {"blocks", 10, 80, 3}};
+    FrontierOptions options;
+    options.objective = "required_draper_qps";
+    options.max_depth = 2;
+    options.budget = 30;
+
+    std::size_t calls = 0;
+    std::size_t last_evaluated = 0;
+    options.on_progress = [&](const FrontierProgress &p) {
+        ++calls;
+        EXPECT_GE(p.round, 1u);
+        EXPECT_GE(p.evaluated, last_evaluated);
+        EXPECT_LE(p.round_done, p.round_total);
+        last_evaluated = p.evaluated;
+        return true;
+    };
+    sweep::SweepRunner runner({.threads = 2});
+    const auto found =
+        frontierSearch(runner, base, axes, options, nullptr);
+    EXPECT_FALSE(found.cancelled);
+    EXPECT_EQ(calls, found.evaluated);
+    EXPECT_EQ(last_evaluated, found.evaluated);
+
+    // A pure observer does not change the search: same table as the
+    // callback-free run.
+    FrontierOptions plain = options;
+    plain.on_progress = nullptr;
+    const auto reference =
+        frontierSearch(runner, base, axes, plain, nullptr);
+    EXPECT_EQ(csvOf(found.table), csvOf(reference.table));
+}
+
+TEST(Frontier, ProgressCallbackCancelsDeterministically)
+{
+    const auto base = api::parseSpec("experiment=bandwidth").spec;
+    const std::vector<FrontierAxis> axes = {
+        {"utilization", 0.25, 1.0, 3}, {"blocks", 10, 80, 3}};
+    FrontierOptions options;
+    options.objective = "required_draper_qps";
+    options.max_depth = 2;
+    options.budget = 30;
+
+    constexpr std::size_t stop_after = 13;  // mid-round, on purpose
+    options.on_progress = [](const FrontierProgress &p) {
+        return p.evaluated < stop_after;
+    };
+    sweep::SweepRunner one({.threads = 1});
+    sweep::SweepRunner many({.threads = 4});
+    const auto a = frontierSearch(one, base, axes, options, nullptr);
+    const auto b = frontierSearch(many, base, axes, options, nullptr);
+    EXPECT_TRUE(a.cancelled);
+    EXPECT_TRUE(b.cancelled);
+    EXPECT_EQ(a.evaluated, stop_after);
+    // Cancellation cuts in incorporation order, so the search is as
+    // thread-count-independent cancelled as it is when it finishes.
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.best_key, b.best_key);
+    EXPECT_EQ(csvOf(a.table), csvOf(b.table));
 }
 
 TEST(Frontier, WarmCacheRerunSimulatesNothingAndMatches)

@@ -1,0 +1,216 @@
+/** @file Unit tests for the JSON reader and the JSONL service. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/service.hh"
+#include "common/json.hh"
+
+namespace qmh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// json::parse
+// ---------------------------------------------------------------------------
+
+TEST(Json, ParsesEveryValueKind)
+{
+    const auto parsed = json::parse(
+        R"({"null":null,"t":true,"f":false,"n":-12.5e2,)"
+        R"("s":"hi","a":[1,2,3],"o":{"k":"v"}})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const auto &root = parsed.value;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_TRUE(root.find("null")->isNull());
+    EXPECT_TRUE(root.find("t")->boolean());
+    EXPECT_FALSE(root.find("f")->boolean());
+    EXPECT_DOUBLE_EQ(root.find("n")->number(), -1250.0);
+    EXPECT_EQ(root.find("s")->string(), "hi");
+    ASSERT_EQ(root.find("a")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(root.find("a")->items()[1].number(), 2.0);
+    EXPECT_EQ(root.find("o")->find("k")->string(), "v");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    const auto parsed = json::parse(
+        R"(["q\"q","b\\b","\/","\b\f\n\r\t","\u0041","\u00e9",)"
+        R"("\u20ac","\ud83d\ude00"])");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const auto &items = parsed.value.items();
+    EXPECT_EQ(items[0].string(), "q\"q");
+    EXPECT_EQ(items[1].string(), "b\\b");
+    EXPECT_EQ(items[2].string(), "/");
+    EXPECT_EQ(items[3].string(), "\b\f\n\r\t");
+    EXPECT_EQ(items[4].string(), "A");
+    EXPECT_EQ(items[5].string(), "\xc3\xa9");          // é
+    EXPECT_EQ(items[6].string(), "\xe2\x82\xac");      // €
+    EXPECT_EQ(items[7].string(), "\xf0\x9f\x98\x80");  // emoji
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01",
+          "1.", "1e", "+1", "\"unterminated", "\"bad\\escape\"",
+          "\"\\u12G4\"", "\"\\ud800\"", "\"\\ud800\\u0041\"",
+          "{} trailing", "nan", "[1] [2]",
+          "\"ctrl\tchar\""}) {
+        const auto parsed = json::parse(bad);
+        EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+    }
+    // Last duplicate key wins, matching common JSON semantics.
+    const auto dup = json::parse(R"({"k":1,"k":2})");
+    ASSERT_TRUE(dup.ok());
+    EXPECT_DOUBLE_EQ(dup.value.find("k")->number(), 2.0);
+}
+
+TEST(Json, RejectsPathologicalNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    EXPECT_FALSE(json::parse(deep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// parseServiceRequest
+// ---------------------------------------------------------------------------
+
+TEST(Service, ParsesAFullRequest)
+{
+    const auto parsed = api::parseServiceRequest(
+        R"({"op":"sweep","id":"r7","seed":12,"limit":3,)"
+        R"("specs":["experiment=cache n=64","experiment=cache"]})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    const auto &request = parsed.value();
+    EXPECT_EQ(request.id, "r7");
+    ASSERT_EQ(request.specs.size(), 2u);
+    EXPECT_EQ(request.specs[0].n, 64);
+    EXPECT_EQ(request.seed, std::uint64_t(12));
+    EXPECT_EQ(request.limit, 3u);
+}
+
+TEST(Service, RequestErrorsAreTyped)
+{
+    using api::ErrorCode;
+    const auto code = [](const char *line) {
+        return api::parseServiceRequest(line).error().code;
+    };
+    EXPECT_EQ(code("nonsense"), ErrorCode::BadRequest);
+    EXPECT_EQ(code("[1,2]"), ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"specs":"not an array"})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"specs":[42]})"), ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"op":"drop","specs":[]})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"seed":-1,"specs":[]})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"seed":1.5,"specs":[]})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"specs":["experiment=nope"]})"),
+              ErrorCode::InvalidSpec);
+    // Seeds beyond 2^53 must arrive as strings to survive doubles.
+    const auto big = api::parseServiceRequest(
+        R"({"seed":"18446744073709551615","specs":[]})");
+    ASSERT_TRUE(big.ok());
+    EXPECT_EQ(big.value().seed, std::uint64_t(-1));
+}
+
+// ---------------------------------------------------------------------------
+// runService
+// ---------------------------------------------------------------------------
+
+std::string
+serve(const std::string &requests, unsigned threads = 2)
+{
+    api::Session session({.threads = threads});
+    std::istringstream in(requests);
+    std::ostringstream out;
+    api::runService(session, in, out);
+    return out.str();
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> result;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        result.push_back(line);
+    return result;
+}
+
+TEST(Service, StreamsRowsFramedByAcceptedAndDone)
+{
+    const auto output = serve(
+        "{\"id\":\"a\",\"specs\":[\"experiment=bandwidth blocks=10\","
+        "\"experiment=bandwidth blocks=20\"]}\n");
+    const auto records = lines(output);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_NE(records[0].find("\"type\":\"accepted\""),
+              std::string::npos);
+    EXPECT_NE(records[0].find("\"total\":2"), std::string::npos);
+    EXPECT_NE(records[1].find("\"type\":\"row\""), std::string::npos);
+    EXPECT_NE(records[1].find("\"index\":0"), std::string::npos);
+    EXPECT_NE(records[1].find("blocks=10"), std::string::npos);
+    EXPECT_NE(records[2].find("\"index\":1"), std::string::npos);
+    EXPECT_NE(records[3].find(
+                  "\"rows\":2,\"total\":2,\"cancelled\":false"),
+              std::string::npos);
+    // Every record is itself valid JSON.
+    for (const auto &record : records)
+        EXPECT_TRUE(json::parse(record).ok()) << record;
+}
+
+TEST(Service, LimitCancelsAndReportsTruncation)
+{
+    const auto output = serve(
+        "{\"id\":\"lim\",\"limit\":1,\"specs\":["
+        "\"experiment=bandwidth blocks=10\","
+        "\"experiment=bandwidth blocks=20\","
+        "\"experiment=bandwidth blocks=30\"]}\n");
+    const auto records = lines(output);
+    ASSERT_EQ(records.size(), 3u);  // accepted, one row, done
+    EXPECT_NE(records[2].find(
+                  "\"rows\":1,\"total\":3,\"cancelled\":true"),
+              std::string::npos);
+}
+
+TEST(Service, ErrorsAreRecordsAndTheLoopKeepsServing)
+{
+    const auto output = serve(
+        "this is not json\n"
+        "\n"
+        "{\"id\":\"bad\",\"specs\":[\"experiment=hierarchy "
+        "n=5000\"]}\n"
+        "{\"id\":\"ok\",\"specs\":[\"experiment=bandwidth\"]}\n");
+    const auto records = lines(output);
+    ASSERT_EQ(records.size(), 5u);
+    EXPECT_NE(records[0].find("\"code\":\"bad_request\""),
+              std::string::npos);
+    EXPECT_NE(records[1].find("\"code\":\"invalid_spec\""),
+              std::string::npos);
+    EXPECT_NE(records[1].find("\"id\":\"bad\""), std::string::npos);
+    // The loop recovered and served the valid request.
+    EXPECT_NE(records[2].find("\"type\":\"accepted\""),
+              std::string::npos);
+    EXPECT_NE(records[4].find("\"cancelled\":false"),
+              std::string::npos);
+}
+
+TEST(Service, IdenticalRequestsStreamIdenticalBytes)
+{
+    const std::string request =
+        "{\"id\":\"d\",\"seed\":5,\"specs\":["
+        "\"experiment=montecarlo trials=400\","
+        "\"experiment=montecarlo trials=401\","
+        "\"experiment=montecarlo trials=402\"]}\n";
+    EXPECT_EQ(serve(request, 1), serve(request, 4));
+}
+
+} // namespace
+} // namespace qmh

@@ -81,6 +81,50 @@ TEST(ThreadPool, PropagatesFirstTaskException)
     EXPECT_EQ(counter.load(), 1);
 }
 
+TEST(ThreadPool, ThrowingTasksDoNotCorruptInFlightAccounting)
+{
+    // A task that throws must still count as retired: if _in_flight
+    // leaked, this wait() (and every later one) would hang instead
+    // of rethrowing, and the session layer above — which shares one
+    // pool across jobs — would stall with it.
+    sweep::ThreadPool pool(4);
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 64; ++i) {
+        if (i % 3 == 0)
+            pool.submit([]() { throw std::runtime_error("boom"); });
+        else
+            pool.submit([&survivors]() { ++survivors; });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(survivors.load(), 64 - 22);  // every non-thrower ran
+
+    // And a full second batch drains cleanly: no stale error, no
+    // stale in-flight count.
+    std::atomic<int> second{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&second]() { ++second; });
+    pool.wait();  // must not throw and must not hang
+    EXPECT_EQ(second.load(), 32);
+}
+
+TEST(ThreadPool, WaitRethrowsTheFirstErrorAndDropsTheRest)
+{
+    // One worker serializes execution, so "first" is well defined.
+    sweep::ThreadPool pool(1);
+    pool.submit([]() { throw std::runtime_error("first"); });
+    pool.submit([]() { throw std::logic_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() did not rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+    // The second exception was dropped, not deferred to the next
+    // wait(): a later clean batch reports clean.
+    pool.submit([]() {});
+    EXPECT_NO_THROW(pool.wait());
+}
+
 TEST(Sweep, PointSeedIsDeterministicAndDistinct)
 {
     EXPECT_EQ(sweep::pointSeed(1, 0), sweep::pointSeed(1, 0));
