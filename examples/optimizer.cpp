@@ -190,6 +190,8 @@ main(int argc, char **argv)
             options.objective = "mean_adder_speedup";
         else if (base.kind == api::ExperimentKind::Cache)
             options.objective = "hit_rate";
+        else if (base.kind == api::ExperimentKind::Trace)
+            options.objective = "speedup";
         else {
             std::fprintf(stderr,
                          "error: --objective is required for %s "

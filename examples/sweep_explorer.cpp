@@ -213,6 +213,9 @@ main(int argc, char **argv)
     if (rank_column.empty() &&
         grid.base.kind == api::ExperimentKind::Hierarchy)
         rank_column = "makespan_speedup";
+    if (rank_column.empty() &&
+        grid.base.kind == api::ExperimentKind::Trace)
+        rank_column = "speedup";
     if (!rank_column.empty()) {
         const auto col = table.findColumn(rank_column);
         if (!col) {

@@ -9,6 +9,7 @@
 #include "cqla/hierarchy_sim.hh"
 #include "ecc/montecarlo.hh"
 #include "net/bandwidth.hh"
+#include "trace/engine.hh"
 
 namespace qmh {
 namespace api {
@@ -21,6 +22,23 @@ checkRange(std::vector<std::string> &errors, bool ok,
 {
     if (!ok)
         errors.emplace_back(message);
+}
+
+/**
+ * The shared cache auto-sizing rule of the cache and trace kinds:
+ * capacity == 0 resolves to capacity_x times the workload's PE qubit
+ * count. Truncate, don't round: the paper-figure capacities (e.g.
+ * 1.5 x PE on the fig-7 PE counts) have always been the floor of the
+ * product.
+ */
+std::uint64_t
+resolveCapacity(const ExperimentSpec &spec, const Workload &workload)
+{
+    if (spec.capacity != 0)
+        return spec.capacity;
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec.capacity_x *
+                                      workload.pe_qubits));
 }
 
 /** Event-driven CQLA memory-hierarchy simulation (Table 5). */
@@ -39,6 +57,10 @@ class HierarchyExperiment final : public Experiment
         std::vector<std::string> errors;
         checkRange(errors, _spec.n >= 8 && _spec.n <= 4096,
                    "hierarchy: n must be in [8, 4096]");
+        // transfers = 0 would divide by zero in the wave computation;
+        // the parser bounds it but a C++-built spec can hold 0.
+        checkRange(errors, _spec.transfers >= 1,
+                   "hierarchy: transfers must be >= 1");
         checkRange(errors, _spec.adders >= 1,
                    "hierarchy: adders must be >= 1");
         checkRange(errors,
@@ -109,8 +131,10 @@ class CacheExperiment final : public Experiment
     {
         std::vector<std::string> errors;
         if (!findWorkload(_spec.workload))
-            errors.push_back("cache: unknown workload '" +
-                             _spec.workload + "'");
+            errors.push_back(
+                "cache: " + unknownNameDiagnostic("workload",
+                                                  _spec.workload,
+                                                  workloadNames()));
         checkRange(errors, _spec.n >= 2 && _spec.n <= 4096,
                    "cache: n must be in [2, 4096]");
         checkRange(errors, _spec.capacity_x > 0.0,
@@ -130,14 +154,7 @@ class CacheExperiment final : public Experiment
     std::vector<sweep::Cell> run(Random &rng) const override
     {
         const auto workload = buildWorkload(_spec, rng);
-        std::uint64_t capacity = _spec.capacity;
-        if (capacity == 0)
-            // Truncate, don't round: the paper-figure capacities
-            // (e.g. 1.5 x PE on the fig-7 PE counts) have always been
-            // the floor of the product.
-            capacity = std::max<std::uint64_t>(
-                1, static_cast<std::uint64_t>(
-                       _spec.capacity_x * workload.pe_qubits));
+        const auto capacity = resolveCapacity(_spec, workload);
         const auto result = cache::simulateCache(
             workload.program, static_cast<std::size_t>(capacity),
             _spec.policy, _spec.warm, workload.cacheable);
@@ -256,6 +273,91 @@ class MonteCarloExperiment final : public Experiment
     }
 };
 
+/**
+ * Trace-driven hierarchy pipeline: any registry workload (or a text-
+ * format circuit wrapped in an api::Workload) list-scheduled onto
+ * level-1 blocks with per-instruction cache residency and transfer-
+ * channel charging (trace/engine.hh).
+ */
+class TraceExperiment final : public Experiment
+{
+  public:
+    explicit TraceExperiment(ExperimentSpec spec)
+        : Experiment(std::move(spec))
+    {
+    }
+
+    std::string name() const override { return "trace"; }
+
+    std::vector<std::string> validate() const override
+    {
+        std::vector<std::string> errors;
+        if (!findWorkload(_spec.workload))
+            errors.push_back(
+                "trace: " + unknownNameDiagnostic("workload",
+                                                  _spec.workload,
+                                                  workloadNames()));
+        checkRange(errors, _spec.n >= 2 && _spec.n <= 4096,
+                   "trace: n must be in [2, 4096]");
+        // The spec parser bounds transfers to [1, 100000], but a spec
+        // built in C++ can hold 0, which the engine refuses fatally —
+        // catch it here so it stays a typed diagnostic.
+        checkRange(errors, _spec.transfers >= 1,
+                   "trace: transfers must be >= 1");
+        checkRange(errors, _spec.capacity_x > 0.0,
+                   "trace: capacity_x must be > 0");
+        checkRange(errors,
+                   _spec.capacity == 0 || _spec.capacity <= 1000000,
+                   "trace: capacity must be <= 1000000");
+        checkRange(errors, _spec.gates <= 1000000,
+                   "trace: gates must be <= 1000000 (event-driven "
+                   "cost grows per gate)");
+        return errors;
+    }
+
+    std::vector<std::string> columns() const override
+    {
+        return {"spec", "workload", "n", "blocks", "transfers",
+                "capacity", "makespan_s", "baseline_s", "speedup",
+                "accesses", "hits", "misses", "evictions", "hit_rate",
+                "transfer_utilization", "block_utilization",
+                "peak_in_flight", "mean_in_flight",
+                "events_executed"};
+    }
+
+    std::vector<sweep::Cell> run(Random &rng) const override
+    {
+        const auto workload = buildWorkload(_spec, rng);
+        const auto capacity = resolveCapacity(_spec, workload);
+        trace::TraceConfig config;
+        config.code = _spec.code;
+        config.blocks = _spec.blocks;
+        config.transfers = _spec.transfers;
+        config.capacity = static_cast<std::size_t>(capacity);
+        const auto result =
+            trace::runTrace(workload, config, _spec.params());
+        return {printSpec(_spec),
+                _spec.workload,
+                _spec.n,
+                _spec.blocks,
+                _spec.transfers,
+                capacity,
+                result.makespan_s,
+                result.baseline_s,
+                result.speedup,
+                result.accesses,
+                result.hits,
+                result.misses,
+                result.evictions,
+                result.hit_rate,
+                result.transfer_utilization,
+                result.block_utilization,
+                result.peak_in_flight,
+                result.mean_in_flight,
+                result.events_executed};
+    }
+};
+
 } // namespace
 
 std::unique_ptr<Experiment>
@@ -270,6 +372,8 @@ makeExperiment(const ExperimentSpec &spec)
         return std::make_unique<BandwidthExperiment>(spec);
       case ExperimentKind::MonteCarlo:
         return std::make_unique<MonteCarloExperiment>(spec);
+      case ExperimentKind::Trace:
+        return std::make_unique<TraceExperiment>(spec);
     }
     qmh_panic("makeExperiment: bad ExperimentKind ",
               static_cast<int>(spec.kind));

@@ -1,5 +1,6 @@
 #include "spec.hh"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 
@@ -100,14 +101,15 @@ codeSpecName(ecc::CodeKind kind)
     }
 
 const FieldDef field_defs[] = {
-    {"experiment", "hierarchy | cache | bandwidth | montecarlo",
+    {"experiment",
+     "hierarchy | cache | bandwidth | montecarlo | trace",
      SpecKeyKind::Text,
      [](const ExperimentSpec &s) { return std::string(kindName(s.kind)); },
      [](ExperimentSpec &s, std::string_view v) -> std::string {
          const auto kind = parseKind(v);
          if (!kind)
-             return badValue("experiment", v,
-                             "hierarchy | cache | bandwidth | montecarlo");
+             return unknownNameDiagnostic("experiment", v,
+                                          experimentKindNames());
          s.kind = *kind;
          return "";
      }},
@@ -216,6 +218,7 @@ kindName(ExperimentKind kind)
       case ExperimentKind::Cache:      return "cache";
       case ExperimentKind::Bandwidth:  return "bandwidth";
       case ExperimentKind::MonteCarlo: return "montecarlo";
+      case ExperimentKind::Trace:      return "trace";
     }
     qmh_panic("kindName: bad ExperimentKind ",
               static_cast<int>(kind));
@@ -232,7 +235,70 @@ parseKind(std::string_view name)
         return ExperimentKind::Bandwidth;
     if (name == "montecarlo")
         return ExperimentKind::MonteCarlo;
+    if (name == "trace")
+        return ExperimentKind::Trace;
     return std::nullopt;
+}
+
+const std::vector<std::string> &
+experimentKindNames()
+{
+    static const std::vector<std::string> names = {
+        "hierarchy", "cache", "bandwidth", "montecarlo", "trace"};
+    return names;
+}
+
+namespace {
+
+/** Levenshtein distance, for did-you-mean suggestions. */
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diagonal = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const auto previous = row[j];
+            const std::size_t substitute =
+                diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+            diagonal = previous;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+std::string
+unknownNameDiagnostic(std::string_view what, std::string_view name,
+                      const std::vector<std::string> &valid)
+{
+    std::string message = "unknown " + std::string(what) + " '" +
+                          std::string(name) + "'; valid " +
+                          std::string(what) + " names: ";
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+        if (i)
+            message += ", ";
+        message += valid[i];
+    }
+    const std::string *nearest = nullptr;
+    std::size_t best = std::string::npos;
+    for (const auto &candidate : valid) {
+        const auto distance = editDistance(name, candidate);
+        if (distance < best) {
+            best = distance;
+            nearest = &candidate;
+        }
+    }
+    // Only suggest when the typo is plausibly a typo: within three
+    // edits and closer than rewriting the whole name.
+    if (nearest && best <= 3 && best < nearest->size())
+        message += " (did you mean '" + *nearest + "'?)";
+    return message;
 }
 
 iontrap::Params

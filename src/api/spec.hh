@@ -38,7 +38,8 @@ enum class ExperimentKind {
     Hierarchy,   ///< event-driven CQLA memory-hierarchy simulation
     Cache,       ///< quantum cache simulator (Fig. 7)
     Bandwidth,   ///< superblock perimeter-bandwidth model (Fig. 6b)
-    MonteCarlo   ///< error-correction Monte Carlo (Table 2 validation)
+    MonteCarlo,  ///< error-correction Monte Carlo (Table 2 validation)
+    Trace        ///< trace-driven circuit-to-cache-to-network pipeline
 };
 
 /** Canonical kind name used in specs ("hierarchy", "cache", ...). */
@@ -46,6 +47,20 @@ const char *kindName(ExperimentKind kind);
 
 /** Parse a kind name; nullopt on unknown. */
 std::optional<ExperimentKind> parseKind(std::string_view name);
+
+/** Every experiment kind name, in declaration order. */
+const std::vector<std::string> &experimentKindNames();
+
+/**
+ * Diagnostic for an unknown name in an enumerated vocabulary: lists
+ * every valid name and, when one is close in edit distance, suggests
+ * it. Shared by the spec parser (`experiment=`) and the workload
+ * validation of the experiment facade, so unknown-name errors are
+ * uniformly actionable whichever surface reports them.
+ */
+std::string unknownNameDiagnostic(std::string_view what,
+                                  std::string_view name,
+                                  const std::vector<std::string> &valid);
 
 /**
  * One experiment, fully specified. Fields not meaningful for the
@@ -66,14 +81,14 @@ struct ExperimentSpec
     int gates = 512;  ///< gate count (random workload)
     int reps = 4;     ///< repeated additions (modexp workload)
 
-    // --- hierarchy knobs ---
+    // --- hierarchy / trace knobs ---
     unsigned transfers = 10;          ///< parallel transfer channels
     unsigned blocks = 49;             ///< compute blocks
     std::uint64_t adders = 300;       ///< additions in the stream
     double l1_fraction = 1.0 / 3.0;   ///< share routed to level 1
     double chain_fraction = 0.0;      ///< serially dependent share
 
-    // --- cache knobs ---
+    // --- cache / trace knobs ---
     std::uint64_t capacity = 0;  ///< cached qubits; 0 = capacity_x * PE
     double capacity_x = 1.0;     ///< auto-capacity multiplier of PE
     cache::FetchPolicy policy = cache::FetchPolicy::OptimizedLookahead;

@@ -110,6 +110,18 @@ workloadRegistry()
     return registry;
 }
 
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &generator : registry)
+            out.push_back(generator.name);
+        return out;
+    }();
+    return names;
+}
+
 const WorkloadGenerator *
 findWorkload(std::string_view name)
 {

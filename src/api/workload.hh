@@ -44,6 +44,9 @@ struct WorkloadGenerator
 /** All registered generators, in registration order. */
 const std::vector<WorkloadGenerator> &workloadRegistry();
 
+/** Names of every registered generator, in registration order. */
+const std::vector<std::string> &workloadNames();
+
 /** Lookup by name; nullptr on unknown. */
 const WorkloadGenerator *findWorkload(std::string_view name);
 

@@ -48,49 +48,66 @@ QubitCache::contains(circuit::QubitId qubit) const
     return _entries.find(qubit) != _entries.end();
 }
 
-namespace {
-
-/** Shared context: the cache plus the cacheability mask. */
-struct SimContext
+CacheState::CacheState(std::size_t capacity,
+                       std::vector<bool> cacheable)
+    : _cache(capacity), _cacheable(std::move(cacheable))
 {
-    QubitCache &cache;
-    const std::vector<bool> &cacheable;
+}
 
-    bool
-    isCacheable(circuit::QubitId q) const
-    {
-        return cacheable.empty() || cacheable[q.value()];
-    }
-};
+std::vector<circuit::QubitId>
+CacheState::missingOperands(const circuit::Instruction &inst) const
+{
+    std::vector<circuit::QubitId> missing;
+    for (const auto &q : inst.operands())
+        if (isCacheable(q) && !_cache.contains(q))
+            missing.push_back(q);
+    return missing;
+}
 
-/** Issue one instruction: touch cacheable operands, count hits. */
 void
-issue(const circuit::Instruction &inst, SimContext &ctx,
-      CacheSimResult &result, std::uint32_t index)
+CacheState::access(const circuit::Instruction &inst)
 {
     for (const auto &q : inst.operands()) {
-        if (!ctx.isCacheable(q))
+        if (!isCacheable(q))
             continue;
-        ++result.accesses;
-        if (ctx.cache.touch(q))
-            ++result.hits;
+        ++_accesses;
+        if (_cache.touch(q))
+            ++_hits;
         else
-            ++result.misses;
+            ++_misses;
     }
+}
+
+void
+CacheState::resetCounters()
+{
+    _accesses = 0;
+    _hits = 0;
+    _misses = 0;
+}
+
+namespace {
+
+/** Issue one instruction through the state, recording the order. */
+void
+issue(const circuit::Instruction &inst, CacheState &state,
+      CacheSimResult &result, std::uint32_t index)
+{
+    state.access(inst);
     result.issue_order.push_back(index);
 }
 
 void
-runInOrder(const circuit::Program &program, SimContext &ctx,
+runInOrder(const circuit::Program &program, CacheState &state,
            CacheSimResult &result)
 {
     const auto &insts = program.instructions();
     for (std::uint32_t i = 0; i < insts.size(); ++i)
-        issue(insts[i], ctx, result, i);
+        issue(insts[i], state, result, i);
 }
 
 void
-runOptimized(const circuit::Program &program, SimContext &ctx,
+runOptimized(const circuit::Program &program, CacheState &state,
              CacheSimResult &result)
 {
     const auto &insts = program.instructions();
@@ -120,10 +137,10 @@ runOptimized(const circuit::Program &program, SimContext &ctx,
             int cached = 0;
             int relevant = 0;
             for (const auto &q : insts[idx].operands()) {
-                if (!ctx.isCacheable(q))
+                if (!state.isCacheable(q))
                     continue;
                 ++relevant;
-                cached += ctx.cache.contains(q) ? 1 : 0;
+                cached += state.resident(q) ? 1 : 0;
             }
             // Normalize by arity: an instruction with all cacheable
             // operands resident beats one with some missing.
@@ -141,7 +158,7 @@ runOptimized(const circuit::Program &program, SimContext &ctx,
         const auto idx = ready[best_pos];
         ready[best_pos] = ready.back();
         ready.pop_back();
-        issue(insts[idx], ctx, result, idx);
+        issue(insts[idx], state, result, idx);
         ++issued;
         for (const auto s : dag.successors(idx)) {
             if (--remaining[s] == 0)
@@ -161,23 +178,23 @@ simulateCache(const circuit::Program &program, std::size_t capacity,
         cacheable.size() != static_cast<std::size_t>(program.qubitCount()))
         qmh_fatal("simulateCache: cacheable mask size ", cacheable.size(),
                   " != qubit count ", program.qubitCount());
-    QubitCache cache(capacity);
-    SimContext ctx{cache, cacheable};
+    CacheState state(capacity, cacheable);
     CacheSimResult result;
     result.policy = policy;
     result.capacity = capacity;
 
     for (int pass = warm_start ? 0 : 1; pass < 2; ++pass) {
-        result.accesses = 0;
-        result.hits = 0;
-        result.misses = 0;
+        state.resetCounters();
         result.issue_order.clear();
         if (policy == FetchPolicy::InOrder)
-            runInOrder(program, ctx, result);
+            runInOrder(program, state, result);
         else
-            runOptimized(program, ctx, result);
+            runOptimized(program, state, result);
     }
-    result.evictions = cache.evictions();
+    result.accesses = state.accesses();
+    result.hits = state.hits();
+    result.misses = state.misses();
+    result.evictions = state.evictions();
     return result;
 }
 

@@ -7,7 +7,13 @@
  * can only execute when its operands are cached; a miss costs a
  * code-transfer from memory. Replacement is least-recently-used.
  *
- * Two fetch policies are modeled:
+ * The residency state (LRU cache + cacheability mask + hit/miss
+ * counters) lives in CacheState, steppable one instruction at a time,
+ * so external engines — the trace engine's event-driven pipeline
+ * (trace/engine.hh) in particular — can drive residency from their
+ * own issue loop. simulateCache() keeps the whole-program driver with
+ * its two fetch policies on top of that state:
+ *
  *  - InOrder: issue the instruction stream as written (the paper
  *    measures ~20% hit rate on the Draper adder);
  *  - OptimizedLookahead: with static scheduling the fetch window is
@@ -66,6 +72,71 @@ class QubitCache
     std::unordered_map<circuit::QubitId,
                        std::list<circuit::QubitId>::iterator> _entries;
     std::uint64_t _evictions = 0;
+};
+
+/**
+ * Steppable cache residency: the LRU cache, the per-qubit
+ * cacheability mask and the access counters, decoupled from any
+ * instruction-selection loop. Callers decide which instruction issues
+ * next (a fetch policy, or the trace engine's list scheduler) and
+ * step the state with access().
+ */
+class CacheState
+{
+  public:
+    /**
+     * @param capacity cached logical qubits (must be nonzero)
+     * @param cacheable per-qubit mask: qubits outside the mask are
+     *        compute-block-local scratch that never crosses the
+     *        memory hierarchy; empty means every qubit is cacheable
+     */
+    CacheState(std::size_t capacity, std::vector<bool> cacheable);
+
+    /** True when @p qubit participates in the memory hierarchy. */
+    bool
+    isCacheable(circuit::QubitId qubit) const
+    {
+        return _cacheable.empty() || _cacheable[qubit.value()];
+    }
+
+    /** True when @p qubit is cacheable and currently resident. */
+    bool
+    resident(circuit::QubitId qubit) const
+    {
+        return isCacheable(qubit) && _cache.contains(qubit);
+    }
+
+    /**
+     * Cacheable operands of @p inst not currently resident — the
+     * transfers an issue of @p inst would trigger. Non-mutating.
+     */
+    std::vector<circuit::QubitId>
+    missingOperands(const circuit::Instruction &inst) const;
+
+    /**
+     * Issue @p inst against the cache: touch every cacheable operand,
+     * counting hits and misses; missing operands are brought in
+     * (evicting LRU entries when full).
+     */
+    void access(const circuit::Instruction &inst);
+
+    /** Reset the access counters, keeping residency (warm start). */
+    void resetCounters();
+
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    /** Cumulative evictions over the cache's whole lifetime. */
+    std::uint64_t evictions() const { return _cache.evictions(); }
+
+    const QubitCache &cache() const { return _cache; }
+
+  private:
+    QubitCache _cache;
+    std::vector<bool> _cacheable;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
 };
 
 /** Result of a cache simulation run. */

@@ -9,7 +9,7 @@
 #include "hierarchy.hh"
 #include "net/transfer.hh"
 #include "sim/event_queue.hh"
-#include "sim/resource.hh"
+#include "sim/transfer_channels.hh"
 
 namespace qmh {
 namespace cqla {
@@ -48,8 +48,7 @@ runHierarchySim(const HierarchySimConfig &config,
     const Tick per_qubit = units::secondsToTicks(per_qubit_s);
 
     sim::EventQueue eq;
-    sim::Resource channels(eq, "transfer-channels",
-                           config.parallel_transfers);
+    sim::TransferChannels channels(eq, config.parallel_transfers);
 
     HierarchySimResult result;
     const auto l1_target = static_cast<std::uint64_t>(std::llround(
@@ -62,7 +61,6 @@ runHierarchySim(const HierarchySimConfig &config,
     std::uint64_t l2_remaining = result.level2_adds;
     std::uint64_t l1_remaining = result.level1_adds;
     std::uint64_t l1_started = 0;
-    Tick transfer_busy = 0;
 
     // Level-2 region: back-to-back additions.
     std::function<void()> dispatch_l2 = [&]() {
@@ -91,17 +89,18 @@ runHierarchySim(const HierarchySimConfig &config,
             static_cast<double>(l1_started % 100) <
                 config.chain_dependent_fraction * 100.0;
         ++l1_started;
-        transfer_busy += static_cast<Tick>(critical_qubits) * per_qubit;
-        channels.acquire([&, chained]() {
-            eq.scheduleAfter(transfer_latency, [&, chained]() {
-                channels.release();
+        // One channel pipelines the batch for its wave latency while
+        // all critical qubits charge the busy accounting.
+        channels.transfer(
+            transfer_latency,
+            static_cast<Tick>(critical_qubits) * per_qubit,
+            [&, chained]() {
                 const Tick compute_start =
                     chained ? std::max(eq.now(), l2_busy_until)
                             : eq.now();
                 eq.schedule(compute_start + t1_compute,
                             [&]() { dispatch_l1(); });
             });
-        });
     };
 
     eq.schedule(0, [&]() { dispatch_l2(); });
@@ -130,12 +129,7 @@ runHierarchySim(const HierarchySimConfig &config,
     if (eq.executed() == 0)
         qmh_panic("hierarchy sim executed no events");
     result.events_executed = eq.executed();
-    const double channel_capacity_s =
-        result.makespan_s * config.parallel_transfers;
-    result.transfer_utilization =
-        channel_capacity_s > 0.0
-            ? units::ticksToSeconds(transfer_busy) / channel_capacity_s
-            : 0.0;
+    result.transfer_utilization = channels.utilization(eq.now());
     return result;
 }
 

@@ -12,6 +12,16 @@
  * The simulator reports both the end-to-end makespan speedup and the
  * add-weighted mean speedup (the paper's Table-5 "Adder SpeedUp"
  * metric); EXPERIMENTS.md discusses the difference.
+ *
+ * Relationship to the trace engine (trace/engine.hh): this model is
+ * the paper-faithful *abstract* pipeline — work arrives as whole
+ * additions with closed-form per-adder times, which is exactly the
+ * granularity of Table 5. The trace engine executes real gate-level
+ * circuits through the same transfer-channel resource
+ * (sim::TransferChannels, shared by both) with cache residency per
+ * instruction; use it when the question is about a specific circuit
+ * rather than the steady-state adder stream. The two deliberately
+ * stay separate experiment kinds ("hierarchy" vs "trace").
  */
 
 #ifndef QMH_CQLA_HIERARCHY_SIM_HH

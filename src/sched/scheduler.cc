@@ -1,7 +1,6 @@
 #include "scheduler.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.hh"
 
@@ -9,23 +8,6 @@ namespace qmh {
 namespace sched {
 
 namespace {
-
-/** Ready-queue entry ordered by critical-path priority, then index. */
-struct ReadyEntry
-{
-    std::uint64_t priority;
-    std::uint32_t index;
-
-    bool
-    operator<(const ReadyEntry &other) const
-    {
-        // std::priority_queue is a max-heap; higher priority first,
-        // ties broken toward program order for determinism.
-        if (priority != other.priority)
-            return priority < other.priority;
-        return index > other.index;
-    }
-};
 
 /** Completion-queue entry ordered by finish time. */
 struct FinishEntry
@@ -45,20 +27,73 @@ struct FinishEntry
 
 } // namespace
 
+std::vector<ProfileSegment>
+buildProfileSegments(const std::vector<std::uint64_t> &start,
+                     const std::vector<std::uint64_t> &duration,
+                     std::uint64_t span)
+{
+    if (start.size() != duration.size())
+        qmh_panic("buildProfileSegments: ", start.size(),
+                  " starts vs ", duration.size(), " durations");
+    // Delta counting over the *distinct event times* only — never a
+    // slot per time step, so tick-resolution traces with makespans in
+    // the billions stay O(gates log gates).
+    std::vector<std::pair<std::uint64_t, std::int32_t>> events;
+    events.reserve(2 * start.size());
+    for (std::size_t i = 0; i < start.size(); ++i) {
+        if (duration[i] == 0)
+            continue;  // barriers occupy no block time
+        events.emplace_back(start[i], 1);
+        events.emplace_back(start[i] + duration[i], -1);
+    }
+    std::sort(events.begin(), events.end());
+
+    std::vector<ProfileSegment> segments;
+    const auto emit = [&segments](std::uint64_t begin,
+                                  std::uint64_t end,
+                                  std::uint32_t in_flight) {
+        // Maximal runs: extend the previous segment when the value
+        // did not actually change at the boundary.
+        if (!segments.empty() &&
+            segments.back().in_flight == in_flight)
+            segments.back().end = end;
+        else
+            segments.push_back({begin, end, in_flight});
+    };
+    std::uint64_t cursor = 0;
+    std::int64_t current = 0;
+    std::size_t e = 0;
+    while (e < events.size()) {
+        const auto when = events[e].first;
+        if (when > cursor)
+            emit(cursor, when, static_cast<std::uint32_t>(current));
+        while (e < events.size() && events[e].first == when)
+            current += events[e++].second;
+        cursor = when;
+    }
+    if (current != 0)
+        qmh_panic("buildProfileSegments: unbalanced profile (", current,
+                  " gates never finish)");
+    if (cursor < span)
+        emit(cursor, span, 0);
+    return segments;
+}
+
+std::vector<ProfileSegment>
+ScheduleResult::inFlightSegments() const
+{
+    std::vector<std::uint64_t> duration(_latency.begin(), _latency.end());
+    return buildProfileSegments(start, duration, makespan);
+}
+
 std::vector<std::uint32_t>
 ScheduleResult::inFlightProfile() const
 {
-    std::vector<std::int64_t> delta(makespan + 1, 0);
-    for (std::size_t i = 0; i < start.size(); ++i) {
-        delta[start[i]] += 1;
-        delta[start[i] + _latency[i]] -= 1;
-    }
     std::vector<std::uint32_t> profile(makespan, 0);
-    std::int64_t current = 0;
-    for (std::uint64_t t = 0; t < makespan; ++t) {
-        current += delta[t];
-        profile[t] = static_cast<std::uint32_t>(current);
-    }
+    for (const auto &segment : inFlightSegments())
+        for (std::uint64_t t = segment.begin;
+             t < std::min(segment.end, makespan); ++t)
+            profile[t] = segment.in_flight;
     return profile;
 }
 
@@ -67,15 +102,27 @@ ScheduleResult::windowedProfile(std::uint64_t window) const
 {
     if (window == 0)
         qmh_panic("windowedProfile: zero window");
-    const auto profile = inFlightProfile();
-    std::vector<double> out;
-    for (std::uint64_t base = 0; base < profile.size(); base += window) {
-        const auto end = std::min<std::uint64_t>(base + window,
-                                                 profile.size());
-        double sum = 0.0;
-        for (std::uint64_t t = base; t < end; ++t)
-            sum += profile[t];
-        out.push_back(sum / static_cast<double>(end - base));
+    if (makespan == 0)
+        return {};
+    const auto windows =
+        static_cast<std::size_t>((makespan + window - 1) / window);
+    std::vector<double> sums(windows, 0.0);
+    for (const auto &segment : inFlightSegments()) {
+        if (segment.in_flight == 0 || segment.begin >= makespan)
+            continue;
+        const auto end = std::min(segment.end, makespan);
+        for (auto w = segment.begin / window; w * window < end; ++w) {
+            const auto lo = std::max(segment.begin, w * window);
+            const auto hi = std::min(end, (w + 1) * window);
+            sums[w] += static_cast<double>(segment.in_flight) *
+                       static_cast<double>(hi - lo);
+        }
+    }
+    std::vector<double> out(windows, 0.0);
+    for (std::size_t w = 0; w < windows; ++w) {
+        const auto base = static_cast<std::uint64_t>(w) * window;
+        const auto width = std::min(window, makespan - base);
+        out[w] = sums[w] / static_cast<double>(width);
     }
     return out;
 }
@@ -84,8 +131,8 @@ std::uint32_t
 ScheduleResult::peakParallelism() const
 {
     std::uint32_t peak = 0;
-    for (const auto v : inFlightProfile())
-        peak = std::max(peak, v);
+    for (const auto &segment : inFlightSegments())
+        peak = std::max(peak, segment.in_flight);
     return peak;
 }
 
@@ -101,89 +148,125 @@ ScheduleResult::utilization() const
            (static_cast<double>(blocks) * static_cast<double>(makespan));
 }
 
+IncrementalScheduler::IncrementalScheduler(
+    const circuit::Program &program,
+    const circuit::DependencyGraph &dag, const LatencyModel &latency,
+    unsigned blocks)
+    : _blocks(blocks), _capped(blocks != unlimited_blocks), _dag(dag)
+{
+    const auto &insts = program.instructions();
+    _total = static_cast<std::uint32_t>(insts.size());
+    _latency.resize(_total);
+    for (std::uint32_t i = 0; i < _total; ++i) {
+        _latency[i] = latency.steps(insts[i].kind);
+        _busy_block_steps += _latency[i];
+    }
+
+    // Critical-path priority: longest weighted path to any sink.
+    std::vector<std::uint64_t> priority(_total, 0);
+    for (std::uint32_t i = _total; i-- > 0;) {
+        std::uint64_t best = 0;
+        for (const auto s : dag.successors(i))
+            best = std::max(best, priority[s]);
+        priority[i] = best + _latency[i];
+    }
+
+    _remaining.resize(_total);
+    for (std::uint32_t i = 0; i < _total; ++i) {
+        _remaining[i] = dag.inDegree(i);
+        if (_remaining[i] == 0)
+            _ready.push({priority[i], i});
+    }
+    // Keep priorities for readying dependents later.
+    _priority = std::move(priority);
+
+    if (_capped)
+        for (std::uint32_t b = 0; b < blocks; ++b)
+            _free_blocks.push(b);
+}
+
+std::optional<IssueClaim>
+IncrementalScheduler::claim()
+{
+    if (_ready.empty())
+        return std::nullopt;
+    if (_capped && _free_blocks.empty())
+        return std::nullopt;
+    const auto entry = _ready.top();
+    _ready.pop();
+    std::uint32_t block_id;
+    if (!_free_blocks.empty()) {
+        block_id = _free_blocks.top();
+        _free_blocks.pop();
+    } else {
+        block_id = _next_fresh_block++;
+    }
+    ++_claimed;
+    ++_in_flight;
+    _peak_in_flight = std::max(_peak_in_flight, _in_flight);
+    return IssueClaim{entry.index, block_id, _latency[entry.index]};
+}
+
+void
+IncrementalScheduler::complete(const IssueClaim &done)
+{
+    if (_in_flight == 0)
+        qmh_panic("IncrementalScheduler: complete() with nothing in "
+                  "flight");
+    --_in_flight;
+    ++_completed;
+    _free_blocks.push(done.block);
+    for (const auto s : _dag.successors(done.index)) {
+        if (--_remaining[s] == 0)
+            _ready.push({_priority[s], s});
+    }
+}
+
+unsigned
+IncrementalScheduler::blocksUsed() const
+{
+    return _capped ? _blocks
+                   : std::max<unsigned>(_peak_in_flight,
+                                        _next_fresh_block);
+}
+
 ScheduleResult
 listSchedule(const circuit::Program &program,
              const circuit::DependencyGraph &dag,
              const LatencyModel &latency, unsigned blocks)
 {
-    const auto &insts = program.instructions();
-    const auto m = static_cast<std::uint32_t>(insts.size());
+    const auto m =
+        static_cast<std::uint32_t>(program.instructions().size());
 
     ScheduleResult result;
     result.blocks_requested = blocks;
     result.start.assign(m, 0);
     result.block.assign(m, 0);
+    IncrementalScheduler scheduler(program, dag, latency, blocks);
     result._latency.resize(m);
-    for (std::uint32_t i = 0; i < m; ++i) {
-        result._latency[i] = latency.steps(insts[i].kind);
-        result.busy_block_steps += result._latency[i];
-    }
+    for (std::uint32_t i = 0; i < m; ++i)
+        result._latency[i] = scheduler.latencyOf(i);
+    result.busy_block_steps = scheduler.busyBlockSteps();
     if (m == 0)
         return result;
 
-    // Critical-path priority: longest weighted path to any sink.
-    std::vector<std::uint64_t> priority(m, 0);
-    for (std::uint32_t i = m; i-- > 0;) {
-        std::uint64_t best = 0;
-        for (const auto s : dag.successors(i))
-            best = std::max(best, priority[s]);
-        priority[i] = best + result._latency[i];
-    }
-
-    std::vector<int> remaining(m);
-    std::priority_queue<ReadyEntry> ready;
-    for (std::uint32_t i = 0; i < m; ++i) {
-        remaining[i] = dag.inDegree(i);
-        if (remaining[i] == 0)
-            ready.push({priority[i], i});
-    }
-
     std::priority_queue<FinishEntry, std::vector<FinishEntry>,
                         std::greater<>> running;
-    // Free block ids, smallest first so assignments are deterministic
-    // and dense.
-    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
-                        std::greater<>> free_blocks;
-    const bool capped = blocks != unlimited_blocks;
-    unsigned next_fresh_block = 0;
-    if (capped)
-        for (std::uint32_t b = 0; b < blocks; ++b)
-            free_blocks.push(b);
-
     std::uint64_t now = 0;
-    std::uint32_t scheduled = 0;
-    unsigned peak_blocks = 0;
 
-    while (scheduled < m) {
+    while (!scheduler.finished()) {
         // Issue every ready gate a free block can take.
-        while (!ready.empty() &&
-               (!capped || !free_blocks.empty())) {
-            const auto entry = ready.top();
-            ready.pop();
-            std::uint32_t block_id;
-            if (capped) {
-                block_id = free_blocks.top();
-                free_blocks.pop();
-            } else if (!free_blocks.empty()) {
-                block_id = free_blocks.top();
-                free_blocks.pop();
-            } else {
-                block_id = next_fresh_block++;
-            }
-            result.start[entry.index] = now;
-            result.block[entry.index] = block_id;
-            running.push({now + result._latency[entry.index], entry.index,
-                          block_id});
-            peak_blocks = std::max<unsigned>(
-                peak_blocks, static_cast<unsigned>(running.size()));
-            ++scheduled;
+        while (const auto claimed = scheduler.claim()) {
+            result.start[claimed->index] = now;
+            result.block[claimed->index] = claimed->block;
+            running.push({now + claimed->latency, claimed->index,
+                          claimed->block});
         }
 
         if (running.empty()) {
-            if (scheduled < m)
-                qmh_panic("scheduler deadlock: ", m - scheduled,
-                          " gates unscheduled (cyclic DAG?)");
-            break;
+            qmh_panic("scheduler deadlock: ",
+                      scheduler.totalCount() - scheduler.claimedCount(),
+                      " gates unscheduled (cyclic DAG?)");
         }
 
         // Advance to the next completion time and retire everything
@@ -192,22 +275,14 @@ listSchedule(const circuit::Program &program,
         while (!running.empty() && running.top().finish == now) {
             const auto done = running.top();
             running.pop();
-            free_blocks.push(done.block);
-            for (const auto s : dag.successors(done.index)) {
-                if (--remaining[s] == 0)
-                    ready.push({priority[s], s});
-            }
+            scheduler.complete(
+                {done.index, done.block,
+                 scheduler.latencyOf(done.index)});
         }
     }
 
-    // Drain: makespan is the last completion.
     result.makespan = now;
-    while (!running.empty()) {
-        result.makespan = std::max(result.makespan, running.top().finish);
-        running.pop();
-    }
-    result.blocks_used =
-        capped ? blocks : std::max(peak_blocks, next_fresh_block);
+    result.blocks_used = scheduler.blocksUsed();
     return result;
 }
 

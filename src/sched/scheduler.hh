@@ -7,6 +7,14 @@
  * event-driven issue. B = 0 means unlimited resources — the QLA
  * "sea-of-qubits" baseline where computation may happen anywhere.
  *
+ * Two forms share one issue policy:
+ *  - listSchedule() runs the whole program against an internal
+ *    completion clock and returns the batch ScheduleResult;
+ *  - IncrementalScheduler exposes the same claim/complete decisions
+ *    one instruction at a time, so an external event loop (the trace
+ *    engine's discrete-event pipeline, trace/engine.hh) can interleave
+ *    issue with cache residency and transfer-network latency.
+ *
  * Produces everything the evaluation needs: makespan, per-gate start
  * times and block assignments, the gates-in-flight profile (paper
  * Fig. 2), and block utilization (paper Fig. 6a).
@@ -16,6 +24,8 @@
 #define QMH_SCHED_SCHEDULER_HH
 
 #include <cstdint>
+#include <optional>
+#include <queue>
 #include <vector>
 
 #include "circuit/dag.hh"
@@ -27,6 +37,33 @@ namespace sched {
 
 /** Unlimited-resources marker for listSchedule(). */
 constexpr unsigned unlimited_blocks = 0;
+
+/**
+ * One maximal run of constant parallelism: @p in_flight gates are
+ * executing over [begin, end). Segments tile the schedule span
+ * contiguously, zero-valued gaps included.
+ */
+struct ProfileSegment
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint32_t in_flight = 0;
+
+    bool operator==(const ProfileSegment &) const = default;
+};
+
+/**
+ * Piecewise-constant gates-in-flight profile from per-gate start
+ * times and durations, as segments over [0, @p span). O(n log n) in
+ * the gate count and independent of the schedule length, so
+ * huge-latency schedules (tick-resolution traces) never allocate a
+ * slot per time step. Zero-duration entries (barriers) contribute
+ * nothing.
+ */
+std::vector<ProfileSegment>
+buildProfileSegments(const std::vector<std::uint64_t> &start,
+                     const std::vector<std::uint64_t> &duration,
+                     std::uint64_t span);
 
 /** A computed schedule. */
 struct ScheduleResult
@@ -50,18 +87,27 @@ struct ScheduleResult
     unsigned blocks_requested = 0;
 
     /**
-     * Gates in flight at each gate-step (size = makespan). This is the
-     * parallelism profile of Fig. 2.
+     * Gates-in-flight profile as constant segments; O(gates log
+     * gates), independent of the makespan. This is the parallelism
+     * profile of Fig. 2 in its scalable form.
+     */
+    std::vector<ProfileSegment> inFlightSegments() const;
+
+    /**
+     * Gates in flight at each gate-step (size = makespan), expanded
+     * densely from inFlightSegments(). O(makespan) memory — use the
+     * segments directly for huge-latency schedules.
      */
     std::vector<std::uint32_t> inFlightProfile() const;
 
     /**
      * The same profile aggregated into windows of @p window steps
      * (mean gates in flight), matching the paper's Toffoli-slot axis.
+     * Computed from segments: O(gates + makespan / window).
      */
     std::vector<double> windowedProfile(std::uint64_t window) const;
 
-    /** Peak of inFlightProfile(). */
+    /** Peak of the in-flight profile (from segments, O(gates log gates)). */
     std::uint32_t peakParallelism() const;
 
     /**
@@ -79,6 +125,111 @@ struct ScheduleResult
                                         const circuit::DependencyGraph &,
                                         const LatencyModel &, unsigned);
     std::vector<std::uint32_t> _latency;  // per-gate, for profiles
+};
+
+/** One claimed instruction: what to run, where, and for how long. */
+struct IssueClaim
+{
+    std::uint32_t index = 0;    ///< instruction position in the program
+    std::uint32_t block = 0;    ///< compute block it occupies
+    std::uint32_t latency = 0;  ///< gate-steps of compute
+};
+
+/**
+ * The list scheduler's issue policy in incremental form. The caller
+ * owns time: claim() hands out the highest-priority ready instruction
+ * while a block is free, complete() retires one and readies its
+ * dependents. Driving claim-all / advance-to-next-completion /
+ * complete-in-(finish, index)-order reproduces listSchedule() exactly
+ * (the batch function is implemented on this class); an event-driven
+ * caller may instead hold a claim through arbitrary stalls (operand
+ * fetch, transfer-network queueing) before completing it.
+ */
+class IncrementalScheduler
+{
+  public:
+    IncrementalScheduler(const circuit::Program &program,
+                         const circuit::DependencyGraph &dag,
+                         const LatencyModel &latency, unsigned blocks);
+
+    /**
+     * Claim the highest-priority ready instruction, allocating a
+     * block; nullopt when nothing is ready or (capped mode) every
+     * block is busy. Loop until nullopt to issue everything currently
+     * issuable.
+     */
+    std::optional<IssueClaim> claim();
+
+    /** Retire a claim: frees its block and readies its dependents. */
+    void complete(const IssueClaim &done);
+
+    /** Instructions in the program. */
+    std::uint32_t totalCount() const { return _total; }
+
+    /** Instructions claimed so far. */
+    std::uint32_t claimedCount() const { return _claimed; }
+
+    /** Claims not yet completed. */
+    std::uint32_t inFlight() const { return _in_flight; }
+
+    /** True once every instruction has been claimed and completed. */
+    bool finished() const { return _completed == _total; }
+
+    /** True when no instruction is ready to claim right now. */
+    bool readyEmpty() const { return _ready.empty(); }
+
+    /**
+     * Blocks in use by the schedule so far: the requested count in
+     * capped mode, the peak concurrency in unlimited mode (equals
+     * ScheduleResult::blocks_used after the final completion).
+     */
+    unsigned blocksUsed() const;
+
+    /** Gate-step latency of instruction @p index. */
+    std::uint32_t latencyOf(std::uint32_t index) const
+    {
+        return _latency[index];
+    }
+
+    /** Sum over all instructions of their latency. */
+    std::uint64_t busyBlockSteps() const { return _busy_block_steps; }
+
+  private:
+    struct ReadyEntry
+    {
+        std::uint64_t priority;
+        std::uint32_t index;
+
+        bool
+        operator<(const ReadyEntry &other) const
+        {
+            // std::priority_queue is a max-heap; higher priority
+            // first, ties broken toward program order for determinism.
+            if (priority != other.priority)
+                return priority < other.priority;
+            return index > other.index;
+        }
+    };
+
+    std::uint32_t _total = 0;
+    std::uint32_t _claimed = 0;
+    std::uint32_t _completed = 0;
+    std::uint32_t _in_flight = 0;
+    unsigned _blocks = 0;
+    bool _capped = false;
+    unsigned _next_fresh_block = 0;
+    unsigned _peak_in_flight = 0;
+    std::uint64_t _busy_block_steps = 0;
+
+    const circuit::DependencyGraph &_dag;
+    std::vector<std::uint32_t> _latency;
+    std::vector<std::uint64_t> _priority;
+    std::vector<int> _remaining;
+    std::priority_queue<ReadyEntry> _ready;
+    // Free block ids, smallest first so assignments are deterministic
+    // and dense.
+    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                        std::greater<>> _free_blocks;
 };
 
 /**

@@ -1,0 +1,38 @@
+#include "transfer_channels.hh"
+
+#include <utility>
+
+namespace qmh {
+namespace sim {
+
+TransferChannels::TransferChannels(EventQueue &eq, unsigned capacity)
+    : _eq(eq), _channels(eq, "transfer-channels", capacity)
+{
+}
+
+void
+TransferChannels::transfer(Tick hold, Tick busy,
+                           std::function<void()> on_done)
+{
+    _busy += busy;
+    ++_transfers;
+    _channels.acquire([this, hold, on_done = std::move(on_done)]() {
+        _eq.scheduleAfter(hold, [this, on_done = std::move(on_done)]() {
+            _channels.release();
+            on_done();
+        });
+    });
+}
+
+double
+TransferChannels::utilization(Tick makespan) const
+{
+    const double capacity_ticks = static_cast<double>(makespan) *
+                                  static_cast<double>(capacity());
+    return capacity_ticks > 0.0
+               ? static_cast<double>(_busy) / capacity_ticks
+               : 0.0;
+}
+
+} // namespace sim
+} // namespace qmh

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Counted code-transfer channels as a simulation resource.
+ *
+ * Wraps a Resource pool of identical transfer-network channels with
+ * the latency and busy-time accounting every hierarchy simulation
+ * needs: a client requests a channel, holds it for the transfer's
+ * latency, and the pool tracks how much channel-time was kept busy so
+ * utilization falls out of the makespan at the end.
+ *
+ * Shared by the abstract adder-stream hierarchy model
+ * (cqla::runHierarchySim, paper Table 5) and the instruction-level
+ * trace engine (trace/engine.hh) so the two charge transfer capacity
+ * identically.
+ */
+
+#ifndef QMH_SIM_TRANSFER_CHANNELS_HH
+#define QMH_SIM_TRANSFER_CHANNELS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "event_queue.hh"
+#include "resource.hh"
+
+namespace qmh {
+namespace sim {
+
+/** A pool of parallel transfer channels with busy accounting. */
+class TransferChannels
+{
+  public:
+    TransferChannels(EventQueue &eq, unsigned capacity);
+
+    /**
+     * Request one channel (FIFO when all are busy), hold it for
+     * @p hold ticks once granted, then release it and invoke
+     * @p on_done. @p busy ticks are charged to the busy accounting at
+     * request time — a pipelined batch holds one channel for its wave
+     * latency while keeping every wire of the batch busy, so the two
+     * can legitimately differ (single transfers pass hold == busy).
+     */
+    void transfer(Tick hold, Tick busy, std::function<void()> on_done);
+
+    unsigned capacity() const { return _channels.capacity(); }
+
+    /** Transfers started so far. */
+    std::uint64_t transfers() const { return _transfers; }
+
+    /** Channel-time charged busy so far. */
+    Tick busyTicks() const { return _busy; }
+
+    /** Busy fraction of total channel capacity over @p makespan. */
+    double utilization(Tick makespan) const;
+
+  private:
+    EventQueue &_eq;
+    Resource _channels;
+    Tick _busy = 0;
+    std::uint64_t _transfers = 0;
+};
+
+} // namespace sim
+} // namespace qmh
+
+#endif // QMH_SIM_TRANSFER_CHANNELS_HH

@@ -1,0 +1,157 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "cache/cache_sim.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "net/transfer.hh"
+#include "sim/event_queue.hh"
+#include "sim/transfer_channels.hh"
+
+namespace qmh {
+namespace trace {
+
+TraceResult
+runTrace(const api::Workload &workload, const TraceConfig &config,
+         const iontrap::Params &params)
+{
+    const auto &program = workload.program;
+    if (config.capacity == 0)
+        qmh_fatal("trace: cache capacity must be nonzero");
+    if (config.transfers == 0)
+        qmh_fatal("trace: need at least one transfer channel");
+    if (!workload.cacheable.empty() &&
+        workload.cacheable.size() !=
+            static_cast<std::size_t>(program.qubitCount()))
+        qmh_fatal("trace: cacheable mask size ",
+                  workload.cacheable.size(), " != qubit count ",
+                  program.qubitCount());
+
+    const auto m = static_cast<std::uint32_t>(program.size());
+    TraceResult result;
+    result.instructions = m;
+
+    const circuit::DependencyGraph dag(program);
+    const auto code = ecc::Code::byKind(config.code);
+
+    // Flat baseline: the identical issue policy with every qubit at
+    // level 2 — no cache, no transfers, only the slower step time.
+    const auto flat =
+        sched::listSchedule(program, dag, config.latency, config.blocks);
+    result.baseline_s = static_cast<double>(flat.makespan) *
+                        code.gateStepTime(2, params);
+    if (m == 0)
+        return result;
+
+    // Tick-resolution costs. Per-step rounding keeps every gate's
+    // duration an exact multiple of one step.
+    const Tick step1 =
+        units::secondsToTicks(code.gateStepTime(1, params));
+    const net::TransferNetwork net(params);
+    const Tick per_transfer = units::secondsToTicks(
+        net.transferTime({config.code, 2}, {config.code, 1}) *
+        code.transferChannelCost());
+
+    sim::EventQueue eq;
+    sim::TransferChannels channels(eq, config.transfers);
+    cache::CacheState cache(config.capacity, workload.cacheable);
+    sched::IncrementalScheduler scheduler(program, dag, config.latency,
+                                          config.blocks);
+
+    std::vector<Tick> start(m, 0);
+    std::vector<Tick> duration(m, 0);
+    // Transfers still outstanding before a claimed gate may compute.
+    std::vector<std::uint32_t> waiting(m, 0);
+
+    std::function<void()> pump;
+
+    auto begin_compute = [&](const sched::IssueClaim claimed) {
+        start[claimed.index] = eq.now();
+        duration[claimed.index] =
+            static_cast<Tick>(claimed.latency) * step1;
+        eq.scheduleAfter(duration[claimed.index], [&, claimed]() {
+            scheduler.complete(claimed);
+            pump();
+        });
+    };
+
+    pump = [&]() {
+        while (const auto claimed = scheduler.claim()) {
+            const auto &inst = program[claimed->index];
+            // Residency first: the missing set is what this issue
+            // pulls through the transfer network. access() then
+            // counts hits/misses and brings the missing qubits in, so
+            // a later gate touching an in-flight qubit hits (the
+            // fetch is already on the wire — MSHR-style merging).
+            const auto missing = cache.missingOperands(inst);
+            cache.access(inst);
+            if (missing.empty()) {
+                begin_compute(*claimed);
+                continue;
+            }
+            waiting[claimed->index] =
+                static_cast<std::uint32_t>(missing.size());
+            for (std::size_t t = 0; t < missing.size(); ++t) {
+                channels.transfer(
+                    per_transfer, per_transfer,
+                    [&, claimed = *claimed]() {
+                        if (--waiting[claimed.index] == 0)
+                            begin_compute(claimed);
+                    });
+            }
+        }
+    };
+
+    eq.schedule(0, pump);
+    eq.run();
+
+    if (!scheduler.finished())
+        qmh_panic("trace deadlock: ",
+                  scheduler.totalCount() - scheduler.claimedCount(),
+                  " instructions never issued (cyclic DAG?)");
+
+    const Tick makespan = eq.now();
+    result.makespan_s = units::ticksToSeconds(makespan);
+    result.speedup = result.makespan_s > 0.0
+                         ? result.baseline_s / result.makespan_s
+                         : 0.0;
+
+    result.accesses = cache.accesses();
+    result.hits = cache.hits();
+    result.misses = cache.misses();
+    result.evictions = cache.evictions();
+    result.hit_rate = result.accesses
+                          ? static_cast<double>(result.hits) /
+                                static_cast<double>(result.accesses)
+                          : 0.0;
+
+    result.transfer_utilization = channels.utilization(makespan);
+    result.blocks_used = scheduler.blocksUsed();
+
+    Tick busy = 0;
+    for (const auto d : duration)
+        busy += d;
+    const double block_capacity =
+        static_cast<double>(makespan) *
+        static_cast<double>(result.blocks_used);
+    result.block_utilization =
+        block_capacity > 0.0 ? static_cast<double>(busy) / block_capacity
+                             : 0.0;
+    result.mean_in_flight =
+        makespan > 0 ? static_cast<double>(busy) /
+                           static_cast<double>(makespan)
+                     : 0.0;
+    for (const auto &segment :
+         sched::buildProfileSegments(start, duration, makespan))
+        result.peak_in_flight =
+            std::max(result.peak_in_flight, segment.in_flight);
+
+    result.events_executed = eq.executed();
+    return result;
+}
+
+} // namespace trace
+} // namespace qmh

@@ -53,7 +53,8 @@ TEST(Spec, RoundTripsEveryKind)
 {
     for (const auto kind :
          {ExperimentKind::Hierarchy, ExperimentKind::Cache,
-          ExperimentKind::Bandwidth, ExperimentKind::MonteCarlo}) {
+          ExperimentKind::Bandwidth, ExperimentKind::MonteCarlo,
+          ExperimentKind::Trace}) {
         ExperimentSpec spec;
         spec.kind = kind;
         spec.machine = "now";
@@ -238,7 +239,9 @@ TEST(Experiments, EveryKindRunsAndMatchesItsColumns)
          {"experiment=hierarchy n=64 adders=40",
           "experiment=cache workload=draper n=32",
           "experiment=bandwidth blocks=36",
-          "experiment=montecarlo trials=2000"}) {
+          "experiment=montecarlo trials=2000",
+          "experiment=trace workload=draper n=32 blocks=8 "
+          "transfers=4 capacity=24"}) {
         const auto parsed = parseSpec(text);
         ASSERT_TRUE(parsed.ok()) << text;
         const auto experiment = makeExperiment(parsed.spec);

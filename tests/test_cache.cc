@@ -259,6 +259,70 @@ TEST(CacheSim, AllMaskedProgramTouchesNothing)
     EXPECT_EQ(r.issue_order.size(), p.size());
 }
 
+TEST(CacheState, SteppingInProgramOrderMatchesInOrderDriver)
+{
+    // CacheState is the residency truth the drivers and the trace
+    // engine share: stepping it by hand in program order must match
+    // the in-order whole-program driver's counters exactly.
+    const auto prog = gen::draperAdder(16);
+    const std::size_t capacity = 12;
+    CacheState state(capacity, {});
+    for (const auto &inst : prog.instructions())
+        state.access(inst);
+    const auto driver =
+        simulateCache(prog, capacity, FetchPolicy::InOrder);
+    EXPECT_EQ(state.accesses(), driver.accesses);
+    EXPECT_EQ(state.hits(), driver.hits);
+    EXPECT_EQ(state.misses(), driver.misses);
+    EXPECT_EQ(state.evictions(), driver.evictions);
+}
+
+TEST(CacheState, MissingOperandsPredictsAccessOutcome)
+{
+    Program p("m", 3);
+    p.toffoli(QubitId(0), QubitId(1), QubitId(2));
+    CacheState state(2, {});
+    const auto &inst = p.instructions().front();
+    // Cold: every operand missing; missingOperands does not mutate.
+    EXPECT_EQ(state.missingOperands(inst).size(), 3u);
+    EXPECT_EQ(state.missingOperands(inst).size(), 3u);
+    state.access(inst);
+    EXPECT_EQ(state.misses(), 3u);
+    // Capacity 2: qubit 0 was evicted while 1 and 2 are resident.
+    EXPECT_FALSE(state.resident(QubitId(0)));
+    EXPECT_TRUE(state.resident(QubitId(1)));
+    EXPECT_TRUE(state.resident(QubitId(2)));
+    EXPECT_EQ(state.missingOperands(inst).size(), 1u);
+}
+
+TEST(CacheState, MaskedQubitsNeverMissOrOccupy)
+{
+    Program p("mask", 2);
+    p.cnot(QubitId(0), QubitId(1));
+    std::vector<bool> mask = {true, false};
+    CacheState state(1, mask);
+    EXPECT_FALSE(state.isCacheable(QubitId(1)));
+    EXPECT_EQ(state.missingOperands(p.instructions().front()).size(),
+              1u);
+    state.access(p.instructions().front());
+    EXPECT_EQ(state.accesses(), 1u);  // only the cacheable operand
+    EXPECT_TRUE(state.resident(QubitId(0)));
+    EXPECT_FALSE(state.resident(QubitId(1)));
+}
+
+TEST(CacheState, ResetCountersKeepsResidency)
+{
+    Program p("r", 1);
+    p.x(QubitId(0));
+    CacheState state(1, {});
+    state.access(p.instructions().front());
+    EXPECT_EQ(state.misses(), 1u);
+    state.resetCounters();
+    EXPECT_EQ(state.accesses(), 0u);
+    state.access(p.instructions().front());
+    EXPECT_EQ(state.hits(), 1u);  // still resident: warm start
+}
+
 TEST(CacheSimDeath, ZeroCapacityRejected)
 {
     Program p("x", 1);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "gen/draper.hh"
 #include "sched/scheduler.hh"
 
@@ -198,6 +201,121 @@ TEST(Schedules, ProfilesAccountForAllWork)
             area += v;
         EXPECT_EQ(area, s.busy_block_steps);
     }
+}
+
+TEST(Schedules, SegmentsMatchDenseProfile)
+{
+    const auto prog = gen::draperAdder(16);
+    LatencyModel lat;
+    const auto s = listSchedule(prog, lat, 4);
+    const auto dense = s.inFlightProfile();
+    const auto segments = s.inFlightSegments();
+    ASSERT_FALSE(segments.empty());
+    // Segments tile [0, makespan) contiguously...
+    EXPECT_EQ(segments.front().begin, 0u);
+    EXPECT_EQ(segments.back().end, s.makespan);
+    for (std::size_t i = 1; i < segments.size(); ++i)
+        EXPECT_EQ(segments[i].begin, segments[i - 1].end);
+    // ...and agree with the dense expansion everywhere.
+    for (const auto &segment : segments)
+        for (auto t = segment.begin; t < segment.end; ++t)
+            EXPECT_EQ(dense[t], segment.in_flight) << "t=" << t;
+}
+
+TEST(Schedules, HugeLatencyProfilesStaySparse)
+{
+    // A tick-resolution trace can have makespans in the billions; the
+    // profile machinery must scale with the gate count, not the
+    // schedule length. Before the segment refactor this test would
+    // try to allocate makespan slots (tens of gigabytes) and die.
+    Program p("huge", 2);
+    for (int i = 0; i < 3; ++i)
+        p.toffoli(QubitId(0), QubitId(1), p.addQubit());
+    LatencyModel lat;
+    lat.toffoli = 2'000'000'000;  // 2e9 steps per gate
+    const auto s = listSchedule(p, lat, 1);
+    EXPECT_EQ(s.makespan, 6'000'000'000ull);
+
+    EXPECT_EQ(s.peakParallelism(), 1u);
+    const auto segments = s.inFlightSegments();
+    ASSERT_EQ(segments.size(), 1u);  // one constant run of 1
+    EXPECT_EQ(segments[0].in_flight, 1u);
+    // Segment area accounts for every block-step of real work.
+    std::uint64_t area = 0;
+    for (const auto &segment : segments)
+        area += (segment.end - segment.begin) * segment.in_flight;
+    EXPECT_EQ(area, s.busy_block_steps);
+
+    const auto windows = s.windowedProfile(2'000'000'000);
+    ASSERT_EQ(windows.size(), 3u);
+    for (const auto w : windows)
+        EXPECT_DOUBLE_EQ(w, 1.0);
+    EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+}
+
+TEST(IncrementalSchedule, DrivesIdenticallyToBatch)
+{
+    // Claim-all / advance / complete-in-finish-order is exactly the
+    // batch algorithm; driving the incremental form by hand must
+    // reproduce listSchedule's decisions.
+    const auto prog = gen::draperAdder(
+        16, true, nullptr, gen::UncomputeMode::CarriesLeftDirty);
+    circuit::DependencyGraph dag(prog);
+    LatencyModel lat;
+    const auto batch = listSchedule(prog, dag, lat, 4);
+
+    IncrementalScheduler inc(prog, dag, lat, 4);
+    std::vector<std::uint64_t> start(prog.size(), 0);
+    // (finish, index) ordered retirement, like the batch driver.
+    std::vector<std::pair<std::uint64_t, IssueClaim>> running;
+    std::uint64_t now = 0;
+    while (!inc.finished()) {
+        while (const auto claimed = inc.claim()) {
+            start[claimed->index] = now;
+            running.push_back({now + claimed->latency, *claimed});
+        }
+        ASSERT_FALSE(running.empty());
+        std::sort(running.begin(), running.end(),
+                  [](const auto &a, const auto &b) {
+                      return std::make_pair(a.first, a.second.index) <
+                             std::make_pair(b.first, b.second.index);
+                  });
+        now = running.front().first;
+        while (!running.empty() && running.front().first == now) {
+            inc.complete(running.front().second);
+            running.erase(running.begin());
+        }
+    }
+    EXPECT_EQ(now, batch.makespan);
+    EXPECT_EQ(start, batch.start);
+    EXPECT_EQ(inc.blocksUsed(), batch.blocks_used);
+    EXPECT_EQ(inc.busyBlockSteps(), batch.busy_block_steps);
+}
+
+TEST(IncrementalSchedule, ClaimRespectsBlockCapAndReadiness)
+{
+    Program p("cap", 4);
+    p.cnot(QubitId(0), QubitId(1));
+    p.cnot(QubitId(2), QubitId(3));
+    p.cnot(QubitId(1), QubitId(2));  // depends on both
+    circuit::DependencyGraph dag(p);
+    LatencyModel lat;
+    IncrementalScheduler inc(p, dag, lat, 1);
+
+    const auto first = inc.claim();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(inc.claim().has_value());  // single block busy
+    inc.complete(*first);
+    const auto second = inc.claim();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(second->index, first->index);
+    inc.complete(*second);
+    const auto third = inc.claim();
+    ASSERT_TRUE(third.has_value());
+    EXPECT_EQ(third->index, 2u);  // only ready after both parents
+    inc.complete(*third);
+    EXPECT_TRUE(inc.finished());
+    EXPECT_FALSE(inc.claim().has_value());
 }
 
 TEST(Schedules, WindowedProfileAverages)
