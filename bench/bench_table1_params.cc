@@ -15,7 +15,7 @@ void
 printTable1()
 {
     benchBanner("Table 1", "ion-trap physical operation parameters");
-    const auto now = iontrap::Params::now();
+    const auto now = iontrap::Params::currentTechnology();
     const auto future = iontrap::Params::future();
 
     AsciiTable t;

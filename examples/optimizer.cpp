@@ -236,12 +236,14 @@ main(int argc, char **argv)
                 options.objective.c_str(), axes.size(),
                 runner.threadCount(),
                 static_cast<unsigned long long>(seed), options.budget);
+    // qmh-lint: allow(no-wallclock): elapsed-seconds display only — never feeds a row, a seed or a cache entry
     const auto start = std::chrono::steady_clock::now();
     const auto found = opt::frontierSearch(
         runner, base, axes, options,
         cache_path.empty() ? nullptr : &cache);
     const auto elapsed =
         std::chrono::duration<double>(
+            // qmh-lint: allow(no-wallclock): elapsed-seconds display only — never feeds a row, a seed or a cache entry
             std::chrono::steady_clock::now() - start)
             .count();
 

@@ -375,6 +375,7 @@ makeExperiment(const ExperimentSpec &spec)
       case ExperimentKind::Trace:
         return std::make_unique<TraceExperiment>(spec);
     }
+    // qmh-lint: allow(typed-errors): exhaustive-switch guard — an out-of-range enum is memory corruption, not a request failure
     qmh_panic("makeExperiment: bad ExperimentKind ",
               static_cast<int>(spec.kind));
 }
@@ -422,6 +423,7 @@ makeValidatedExperiments(const std::vector<ExperimentSpec> &specs)
 {
     auto experiments = validateExperiments(specs);
     if (!experiments.ok())
+        // qmh-lint: allow(typed-errors): documented legacy panic surface — validateExperiments is the typed twin callers migrate to
         qmh_panic("makeValidatedExperiments: ",
                   experiments.error().describe());
     return std::move(experiments).value();
@@ -434,9 +436,11 @@ runSpecSweep(sweep::SweepRunner &runner,
     Session session(runner);
     auto submitted = session.submit(specs);
     if (!submitted.ok())
+        // qmh-lint: allow(typed-errors): documented legacy panic surface — Session::submit is the typed twin callers migrate to
         qmh_panic("runSpecSweep: ", submitted.error().describe());
     auto result = submitted.value().wait();
     if (result.failure)
+        // qmh-lint: allow(typed-errors): documented legacy panic surface — Session::submit is the typed twin callers migrate to
         qmh_panic("runSpecSweep: ", result.failure->describe());
     return std::move(result.table);
 }

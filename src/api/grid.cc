@@ -94,6 +94,7 @@ SpecGrid::expand() const
             const auto error =
                 specSet(spec, ax.key, ax.values[pick]);
             if (!error.empty())
+                // qmh-lint: allow(typed-errors): grid axes are validated at construction — a bad value here is a SpecGrid invariant bug
                 qmh_panic("SpecGrid::expand: ", error);
         }
         specs.push_back(std::move(spec));

@@ -45,6 +45,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::BadSeeds:        return "bad_seeds";
       case ErrorCode::ExecutionFailed: return "execution_failed";
     }
+    // qmh-lint: allow(typed-errors): exhaustive-switch guard — an out-of-range enum is memory corruption, not a request failure
     qmh_panic("errorCodeName: bad ErrorCode ", static_cast<int>(code));
 }
 
@@ -116,6 +117,7 @@ class Outcome
     error() const
     {
         if (ok())
+            // qmh-lint: allow(typed-errors): documented contract — reading the wrong alternative is a caller bug, not a recoverable failure
             qmh_panic("Outcome::error() on a success value");
         return std::get<1>(_state);
     }
@@ -125,6 +127,7 @@ class Outcome
     requireOk() const
     {
         if (!ok())
+            // qmh-lint: allow(typed-errors): documented contract — reading the wrong alternative is a caller bug, not a recoverable failure
             qmh_panic("Outcome::value() on an error: ",
                       std::get<1>(_state).describe());
     }

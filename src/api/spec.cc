@@ -220,6 +220,7 @@ kindName(ExperimentKind kind)
       case ExperimentKind::MonteCarlo: return "montecarlo";
       case ExperimentKind::Trace:      return "trace";
     }
+    // qmh-lint: allow(typed-errors): exhaustive-switch guard — an out-of-range enum is memory corruption, not a request failure
     qmh_panic("kindName: bad ExperimentKind ",
               static_cast<int>(kind));
 }
@@ -305,9 +306,10 @@ iontrap::Params
 ExperimentSpec::params() const
 {
     if (machine == "now")
-        return iontrap::Params::now();
+        return iontrap::Params::currentTechnology();
     if (machine == "future")
         return iontrap::Params::future();
+    // qmh-lint: allow(typed-errors): unreachable after parse/specSet validation — the machine field only ever holds a registered preset
     qmh_panic("ExperimentSpec: unknown machine preset '", machine, "'");
 }
 

@@ -136,6 +136,7 @@ buildWorkload(const ExperimentSpec &spec, Random &rng)
 {
     const auto *generator = findWorkload(spec.workload);
     if (!generator)
+        // qmh-lint: allow(typed-errors): unreachable post-validation — every request path rejects unknown workloads with InvalidSpec first
         qmh_panic("buildWorkload: unknown workload '", spec.workload,
                   "'");
     return generator->build(spec, rng);

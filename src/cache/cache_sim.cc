@@ -48,6 +48,12 @@ QubitCache::contains(circuit::QubitId qubit) const
     return _entries.find(qubit) != _entries.end();
 }
 
+std::vector<circuit::QubitId>
+QubitCache::residents() const
+{
+    return {_lru.begin(), _lru.end()};
+}
+
 CacheState::CacheState(std::size_t capacity,
                        std::vector<bool> cacheable)
     : _cache(capacity), _cacheable(std::move(cacheable))

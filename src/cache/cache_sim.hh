@@ -65,6 +65,14 @@ class QubitCache
     std::size_t size() const { return _entries.size(); }
     std::uint64_t evictions() const { return _evictions; }
 
+    /**
+     * Resident qubits in recency order, most recent first. Read from
+     * the LRU list — a deterministic function of the access history —
+     * never from the unordered index, so persisting or printing the
+     * residency set cannot leak hash-map layout.
+     */
+    std::vector<circuit::QubitId> residents() const;
+
   private:
     std::size_t _capacity;
     // MRU at front. List + index map gives O(1) touch.

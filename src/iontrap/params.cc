@@ -83,7 +83,7 @@ Params::averageFailure() const
 }
 
 Params
-Params::now()
+Params::currentTechnology()
 {
     Params p;
     p.name = "now";
@@ -103,6 +103,10 @@ Params::now()
     p.cycle_us = 10.0;
     return p;
 }
+
+// Deprecated alias, kept one release for out-of-tree callers.
+// qmh-lint: allow(no-wallclock): not a clock — compatibility alias for the Table-1 preset, removed next release
+Params Params::now() { return currentTechnology(); }
 
 Params
 Params::future()

@@ -1,0 +1,9 @@
+// Fixture: includes of the banned headers, plus look-alikes that
+// must NOT fire.
+#include <ctime>        // line 3
+#include <random>       // line 4
+#include <sys/time.h>   // line 5
+#include "time.h"       // line 6 — quoted form counts too
+// #include <ctime>     — commented out, must not fire
+#include <chrono>       // allowed: duration math is deterministic
+#include <cstdlib>      // allowed

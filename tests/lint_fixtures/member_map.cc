@@ -1,0 +1,13 @@
+// Fixture: implementation half of the companion-header test. The
+// range-for below walks a member declared only in member_map.hh;
+// lintFile must still catch it.
+#include "member_map.hh"
+
+int
+FixtureRegistry::total() const
+{
+    int sum = 0;
+    for (const auto &kv : _by_name)      // line 10
+        sum += kv.second;
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: header half of the companion-header test — the unordered
+// member is declared here, iterated in member_map.cc.
+#include <string>
+#include <unordered_map>
+
+class FixtureRegistry
+{
+  public:
+    int total() const;
+
+  private:
+    std::unordered_map<std::string, int> _by_name;
+};

@@ -1,0 +1,20 @@
+// Fixture: ordered or lookup-only container use that is sanctioned.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int
+fixtureOrderedUse(const std::vector<std::string> &keys)
+{
+    std::unordered_map<std::string, int> index;  // lookup only
+    std::map<std::string, int> ordered;
+    int total = 0;
+    // Ordered container: iteration order is the key order.
+    for (const auto &kv : ordered)
+        total += kv.second;
+    // The unordered map is probed through an ordered key list.
+    for (const auto &key : keys)
+        total += index.count(key) ? index.at(key) : 0;
+    return total;
+}

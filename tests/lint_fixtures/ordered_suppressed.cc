@@ -1,0 +1,18 @@
+// Fixture: the one sanctioned unordered walk — an order-erasing
+// snapshot whose result is sorted before anybody iterates it.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string>
+fixtureSortedSnapshot()
+{
+    std::unordered_map<std::string, int> entries;
+    std::vector<std::string> keys;
+    // qmh-lint: allow(ordered-iteration): fixture — keys are sorted below before anything iterates them
+    for (const auto &kv : entries)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}

@@ -1,0 +1,17 @@
+// Fixture: hash-order leaks qmh-lint must catch.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+fixtureHashOrderLeak()
+{
+    std::unordered_map<std::string, int> counts;
+    std::unordered_set<int> seen;
+    int total = 0;
+    for (const auto &kv : counts)        // line 12
+        total += kv.second;
+    for (int value : seen)               // line 14
+        total += value;
+    return total;
+}

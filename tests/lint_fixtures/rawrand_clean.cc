@@ -1,0 +1,17 @@
+// Fixture: randomness-adjacent code that is sanctioned.
+// (Fixtures are linted, never compiled; Rng is intentionally opaque.)
+struct Rng;
+
+unsigned
+fixtureSanctionedRand(const Rng &rng, Rng *prng)
+{
+    // Member calls are somebody's API, not the libc global.
+    unsigned a = rng.rand();
+    unsigned b = prng->rand();
+    // Identifiers merely containing the names are fine.
+    unsigned randomize_count = 3;
+    unsigned operand = a;
+    const char *text = "std::mt19937 in a string is fine";
+    (void)text;
+    return a + b + randomize_count + operand;
+}

@@ -1,0 +1,15 @@
+// Fixture: raw randomness qmh-lint must catch.
+#include <cstdlib>
+
+int
+fixtureRawRand()
+{
+    std::mt19937 gen(42);                    // line 7
+    std::mt19937_64 wide(42);                // line 8
+    std::default_random_engine basic(1);     // line 9
+    int a = std::rand();                     // line 10
+    srand(7);                                // line 11
+    long b = drand48() > 0.5 ? 1 : 0;        // line 12
+    (void)gen; (void)wide; (void)basic;
+    return a + static_cast<int>(b);
+}

@@ -1,0 +1,14 @@
+// Fixture: malformed allow() markers, one per failure mode.
+#include <chrono>
+
+double
+fixtureBadSuppressions()
+{
+    // qmh-lint: allow(no-wallclock)
+    auto a = std::chrono::steady_clock::now();           // line 8
+    // qmh-lint: allow(not-a-rule): the rule id does not exist
+    auto b = std::chrono::steady_clock::now();           // line 10
+    // qmh-lint: allowance(no-wallclock): wrong verb
+    auto c = std::chrono::steady_clock::now();           // line 12
+    return std::chrono::duration<double>(a - b + (c - c)).count();
+}

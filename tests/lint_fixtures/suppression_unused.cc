@@ -1,0 +1,8 @@
+// Fixture: a stale allowance — the finding it covered is gone.
+int
+fixtureNothingToSuppress()
+{
+    // qmh-lint: allow(no-wallclock): fixture — this marker covers nothing and must expire loudly
+    int not_a_clock = 7;
+    return not_a_clock;
+}

@@ -1,0 +1,25 @@
+// Fixture: tokenizer traps. Everything in this file is CLEAN; any
+// finding here is a scrubber or tokenizer bug.
+#include <string>
+
+std::string
+fixtureTokenizerEdges()
+{
+    // Raw string: banned names inside are literal data, not code.
+    std::string raw = R"(time(nullptr) and std::rand() and
+        std::chrono::steady_clock::now() span two lines)";
+    // Custom-delimiter raw string containing the plain closer.
+    std::string tricky = R"x(almost closed: )" but not )x";
+    // Escaped quote inside an ordinary string.
+    std::string quoted = "she said \"rand()\" loudly";
+    // Char literals, including an escaped quote and a banned name...
+    char q = '\'';
+    char t = 't';
+    // ...and digit separators, which are NOT char literals.
+    long big = 1'000'000;
+    long hex = 0xFF'FF;
+    // A line comment spliced onto a second physical line: rand() \
+       time(nullptr) is still inside this comment
+    return raw + tricky + quoted + q + t +
+           std::to_string(big + hex);
+}

@@ -1,0 +1,23 @@
+// Fixture: things that look clock-adjacent but are sanctioned.
+#include <cstdint>
+
+struct FakeQueue
+{
+    std::uint64_t now() const { return _t; }  // simulated clock
+    std::uint64_t _t = 0;
+};
+
+std::uint64_t
+fixtureSimulatedTime(const FakeQueue &queue)
+{
+    // Instance calls are the simulated clock, never flagged.
+    auto t1 = queue.now();
+    FakeQueue *ptr = nullptr;
+    auto t2 = ptr ? ptr->now() : 0;
+    // Words containing the banned names are not calls.
+    int timeout = 5;
+    int lifetime = timeout;
+    const char *label = "time(nullptr) inside a string is fine";
+    (void)label;
+    return t1 + t2 + static_cast<std::uint64_t>(lifetime);
+}

@@ -1,0 +1,11 @@
+// Fixture: both suppression placements against real findings.
+#include <chrono>
+
+double
+fixtureSuppressedWallclock()
+{
+    // qmh-lint: allow(no-wallclock): fixture — comment-above placement covers the next line
+    auto start = std::chrono::steady_clock::now();
+    auto stop = std::chrono::steady_clock::now();  // qmh-lint: allow(no-wallclock): fixture — trailing placement covers its own line
+    return std::chrono::duration<double>(stop - start).count();
+}

@@ -1,0 +1,16 @@
+// Fixture: every flavour of wall-clock read qmh-lint must catch.
+// Line numbers are asserted by test_lint.cc — append only.
+#include <chrono>
+
+double
+fixtureWallclock()
+{
+    auto a = std::chrono::steady_clock::now();            // line 8
+    auto b = std::chrono::system_clock::now();            // line 9
+    auto c = std::chrono::high_resolution_clock::now();   // line 10
+    long t = time(nullptr);                               // line 11
+    std::random_device entropy;                           // line 12
+    auto g = gettimeofday(nullptr, nullptr);              // line 13
+    (void)a; (void)b; (void)c; (void)t; (void)entropy;
+    return static_cast<double>(g);
+}

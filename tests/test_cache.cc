@@ -25,6 +25,26 @@ TEST(QubitCache, LruEviction)
     EXPECT_EQ(c.evictions(), 1u);
 }
 
+TEST(QubitCache, ResidentsReportRecencyOrderNotHashOrder)
+{
+    // Determinism regression: the residency snapshot must be a pure
+    // function of the access history (MRU first), never of the
+    // unordered index's bucket layout.
+    QubitCache c(3);
+    c.touch(QubitId(5));
+    c.touch(QubitId(9));
+    c.touch(QubitId(1));
+    const std::vector<QubitId> fresh = {QubitId(1), QubitId(9),
+                                        QubitId(5)};
+    EXPECT_EQ(c.residents(), fresh);
+
+    c.touch(QubitId(9));                 // refresh: 9 becomes MRU
+    c.touch(QubitId(7));                 // evicts 5, the LRU entry
+    const std::vector<QubitId> after = {QubitId(7), QubitId(9),
+                                        QubitId(1)};
+    EXPECT_EQ(c.residents(), after);
+}
+
 TEST(QubitCache, CapacityRespected)
 {
     QubitCache c(3);

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Self-tests for qmh_lint: every rule against a clean, a violating
+ * and a suppressed fixture, the suppression meta-rules, and the
+ * tokenizer traps. Fixtures live in tests/lint_fixtures/ (skipped by
+ * lintTree, so their intentional violations never fail the tree
+ * check); exact line numbers are asserted, so fixture edits must
+ * keep lines stable or update the tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "qmh_lint/lint.hh"
+
+namespace qmh {
+namespace lint {
+namespace {
+
+std::string
+fixturePath(const char *name)
+{
+    return std::string(QMH_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string
+fixtureText(const char *name)
+{
+    std::ifstream in(fixturePath(name), std::ios::binary);
+    EXPECT_TRUE(in.is_open()) << "missing fixture " << name;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** The findings as (line, rule) pairs, in report order. */
+std::vector<std::pair<int, std::string>>
+findings(const Report &report)
+{
+    std::vector<std::pair<int, std::string>> out;
+    for (const auto &diagnostic : report.diagnostics)
+        out.emplace_back(diagnostic.line, diagnostic.rule);
+    return out;
+}
+
+using Findings = std::vector<std::pair<int, std::string>>;
+
+TEST(LintRegistry, NamesAndDescriptionsCoverEveryRule)
+{
+    const auto &names = ruleNames();
+    const std::vector<std::string> expect = {
+        "no-wallclock",   "no-raw-rand",      "ordered-iteration",
+        "typed-errors",   "banned-headers",   "bad-suppression",
+        "unused-suppression"};
+    EXPECT_EQ(names, expect);
+    for (const auto &name : names)
+        EXPECT_NE(ruleDescription(name), nullptr) << name;
+    EXPECT_EQ(ruleDescription("no-such-rule"), nullptr);
+}
+
+TEST(LintDiagnostic, FormatIsFileLineRuleMessageHint)
+{
+    const Diagnostic with_hint{"a.cc", 7, "no-wallclock", "msg",
+                               "fix it"};
+    EXPECT_EQ(with_hint.format(),
+              "a.cc:7: [no-wallclock] msg (hint: fix it)");
+    const Diagnostic bare{"a.cc", 7, "no-wallclock", "msg", ""};
+    EXPECT_EQ(bare.format(), "a.cc:7: [no-wallclock] msg");
+}
+
+TEST(LintNoWallclock, ViolatingFixtureFlagsEveryClockRead)
+{
+    const auto report =
+        lintFile(fixturePath("wallclock_violating.cc"));
+    const Findings expect = {
+        {8, "no-wallclock"},  {9, "no-wallclock"},
+        {10, "no-wallclock"}, {11, "no-wallclock"},
+        {12, "no-wallclock"}, {13, "no-wallclock"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintNoWallclock, CleanFixtureHasNoFindings)
+{
+    const auto report = lintFile(fixturePath("wallclock_clean.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintNoWallclock, BothSuppressionPlacementsAreHonored)
+{
+    const auto report =
+        lintFile(fixturePath("wallclock_suppressed.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintNoRawRand, ViolatingFixtureFlagsEnginesAndLibcCalls)
+{
+    const auto report = lintFile(fixturePath("rawrand_violating.cc"));
+    const Findings expect = {
+        {7, "no-raw-rand"},  {8, "no-raw-rand"}, {9, "no-raw-rand"},
+        {10, "no-raw-rand"}, {11, "no-raw-rand"},
+        {12, "no-raw-rand"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintNoRawRand, CleanFixtureHasNoFindings)
+{
+    const auto report = lintFile(fixturePath("rawrand_clean.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintNoRawRand, PolicyWaivesTheSanctionedRandomHome)
+{
+    const auto text = fixtureText("rawrand_violating.cc");
+    const auto report =
+        lintText("src/common/random_fixture.cc", text);
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintOrderedIteration, ViolatingFixtureFlagsBothWalks)
+{
+    const auto report = lintFile(fixturePath("ordered_violating.cc"));
+    const Findings expect = {{12, "ordered-iteration"},
+                             {14, "ordered-iteration"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintOrderedIteration, OrderedAndLookupOnlyUseIsClean)
+{
+    const auto report = lintFile(fixturePath("ordered_clean.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintOrderedIteration, SortedSnapshotPatternSuppressesCleanly)
+{
+    const auto report =
+        lintFile(fixturePath("ordered_suppressed.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintOrderedIteration, MemberDeclaredInCompanionHeaderIsCaught)
+{
+    // The member map lives in member_map.hh; the walk in the .cc
+    // must still be caught via the companion-header scan...
+    const auto report = lintFile(fixturePath("member_map.cc"));
+    const Findings expect = {{10, "ordered-iteration"}};
+    EXPECT_EQ(findings(report), expect);
+
+    // ...and is invisible to text-only analysis, which is exactly
+    // the blind spot the header scan closes.
+    const auto text_only =
+        lintText("member_map.cc", fixtureText("member_map.cc"));
+    EXPECT_TRUE(text_only.clean());
+
+    // The header itself only declares; nothing iterates there.
+    const auto header = lintFile(fixturePath("member_map.hh"));
+    EXPECT_TRUE(header.clean()) << header.diagnostics[0].format();
+}
+
+TEST(LintTypedErrors, FiresOnlyInsideTheApiDomain)
+{
+    const auto text = fixtureText("typed_errors.cc");
+
+    const auto api = lintText("src/api/fixture.cc", text);
+    const Findings expect = {
+        {10, "typed-errors"}, {12, "typed-errors"},
+        {14, "typed-errors"}, {16, "typed-errors"}};
+    EXPECT_EQ(findings(api), expect);
+
+    // The same text outside src/api/ is policy-clean: qmh_panic IS
+    // the documented failure mode for invariant violations there.
+    const auto engine = lintText("src/cqla/fixture.cc", text);
+    EXPECT_TRUE(engine.clean()) << engine.diagnostics[0].format();
+}
+
+TEST(LintBannedHeaders, FlagsEachBannedIncludeOnceAndOnlyReal)
+{
+    const auto report = lintFile(fixturePath("banned_headers.cc"));
+    const Findings expect = {
+        {3, "banned-headers"}, {4, "banned-headers"},
+        {5, "banned-headers"}, {6, "banned-headers"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintTokenizer, RawStringsSplicesAndSeparatorsAreNotCode)
+{
+    const auto report = lintFile(fixturePath("tokenizer_edges.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintSuppression, StaleAllowanceExpiresLoudly)
+{
+    const auto report =
+        lintFile(fixturePath("suppression_unused.cc"));
+    const Findings expect = {{5, "unused-suppression"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintSuppression, MalformedMarkersNeverSuppress)
+{
+    const auto report = lintFile(fixturePath("suppression_bad.cc"));
+    const Findings expect = {
+        {7, "bad-suppression"},  {8, "no-wallclock"},
+        {9, "bad-suppression"},  {10, "no-wallclock"},
+        {11, "bad-suppression"}, {12, "no-wallclock"}};
+    EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintTree, SingleFileRootIsScanned)
+{
+    const auto report =
+        lintTree({fixturePath("wallclock_clean.cc")});
+    EXPECT_EQ(report.files_scanned, 1u);
+    EXPECT_TRUE(report.clean());
+}
+
+TEST(LintTree, TheRealTreeIsCleanWithJustifiedSuppressionsOnly)
+{
+    // The same invariant the lint_tree ctest enforces, kept here too
+    // so a plain `qmh_tests` run catches regressions without CTest.
+    const auto report = lintTree({QMH_LINT_SOURCE_DIR "/src",
+                                  QMH_LINT_SOURCE_DIR "/bench",
+                                  QMH_LINT_SOURCE_DIR "/examples",
+                                  QMH_LINT_SOURCE_DIR "/tests"});
+    EXPECT_GT(report.files_scanned, 100u);
+    for (const auto &diagnostic : report.diagnostics)
+        ADD_FAILURE() << diagnostic.format();
+}
+
+} // namespace
+} // namespace lint
+} // namespace qmh

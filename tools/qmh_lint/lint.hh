@@ -1,0 +1,103 @@
+/**
+ * @file
+ * qmh-lint: project-specific static analysis enforcing the
+ * determinism and typed-error contracts (ISSUE 6).
+ *
+ * The reproduction's central promise — bit-identical rows for a given
+ * (spec, seed) on any thread count, across processes and the result
+ * cache — rests on invariants the compiler cannot see:
+ *
+ *  - no-wallclock       simulation code never reads a clock or an
+ *                       entropy source (std::chrono::*_clock::now,
+ *                       time(), std::random_device, ...);
+ *  - no-raw-rand        all randomness flows through the seeded
+ *                       qmh::Random (no std::rand, no naked std
+ *                       engines such as std::mt19937);
+ *  - ordered-iteration  no range-for over std::unordered_map/set in
+ *                       code that emits rows, persists caches or
+ *                       builds schedules — hash order must never
+ *                       reach an output channel;
+ *  - typed-errors       src/api request paths return Outcome instead
+ *                       of panicking/throwing/exiting;
+ *  - banned-headers     headers that exist only to break the rules
+ *                       above (<ctime>, <random>, ...) stay out.
+ *
+ * The analysis is a comment/string-stripping tokenizer plus token
+ * pattern rules: deliberately simple, zero-dependency and fast enough
+ * to run on every ctest invocation. It is heuristic, so every rule
+ * supports inline suppression:
+ *
+ *     // qmh-lint: allow(<rule-id>): <one-line justification>
+ *
+ * placed on the offending line or alone on the line above. The
+ * justification is mandatory (bad-suppression otherwise) and a
+ * suppression that matches nothing is itself reported
+ * (unused-suppression), so stale allowances expire loudly.
+ */
+
+#ifndef QMH_TOOLS_LINT_HH
+#define QMH_TOOLS_LINT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qmh {
+namespace lint {
+
+/** One finding, addressed as file:line with a stable rule id. */
+struct Diagnostic
+{
+    std::string file;     ///< path as given to the linter
+    int line = 0;         ///< 1-based line of the finding
+    std::string rule;     ///< stable rule id ("no-wallclock", ...)
+    std::string message;  ///< what was found
+    std::string hint;     ///< how to fix (or legitimately suppress) it
+
+    /** "file:line: [rule] message (hint)" */
+    std::string format() const;
+};
+
+/** Result of linting one file or a whole tree. */
+struct Report
+{
+    std::vector<Diagnostic> diagnostics;
+    std::size_t files_scanned = 0;
+
+    bool clean() const { return diagnostics.empty(); }
+};
+
+/** Stable ids of every rule, in documentation order. */
+const std::vector<std::string> &ruleNames();
+
+/** One-line description of @p rule; nullptr for unknown ids. */
+const char *ruleDescription(std::string_view rule);
+
+/**
+ * Lint @p text as if it were the file @p policy_path. The path picks
+ * the per-directory policy (typed-errors only under src/api/,
+ * no-raw-rand waived inside the sanctioned src/common/random home),
+ * so tests can label fixture content into any policy domain.
+ */
+Report lintText(std::string_view policy_path, std::string_view text);
+
+/**
+ * Lint one file from disk (policy from its path). For a .cc/.cpp the
+ * companion header (same stem, .hh or .h) is also scanned for
+ * unordered-container member names, so a map declared in foo.hh and
+ * range-for'd in foo.cc is still caught by ordered-iteration.
+ */
+Report lintFile(const std::string &path);
+
+/**
+ * Recursively lint every C++ source under @p roots (.cc/.hh/.cpp/.h).
+ * Directories named "lint_fixtures" are skipped: fixtures contain
+ * intentional violations and are linted explicitly by the self-tests.
+ * Files are visited in sorted path order so output is deterministic.
+ */
+Report lintTree(const std::vector<std::string> &roots);
+
+} // namespace lint
+} // namespace qmh
+
+#endif // QMH_TOOLS_LINT_HH

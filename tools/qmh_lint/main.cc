@@ -1,0 +1,70 @@
+/**
+ * @file
+ * qmh_lint CLI: lint the given files/directories and report every
+ * finding as file:line: [rule] message. Exit 0 when clean, 1 when
+ * there are findings, 2 on usage errors — so it slots into CTest and
+ * CI as a pass/fail gate.
+ *
+ *   qmh_lint src bench examples tests
+ *   qmh_lint --list-rules
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "qmh_lint/lint.hh"
+
+namespace {
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: qmh_lint [--list-rules] <file-or-dir>...\n"
+        << "Static analysis for the qmh determinism & typed-error "
+           "contracts.\n"
+        << "Suppress a finding with\n"
+        << "  // qmh-lint: allow(<rule>): <one-line justification>\n"
+        << "on the offending line or alone on the line above.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const auto &rule : qmh::lint::ruleNames())
+                std::cout << rule << "\n    "
+                          << qmh::lint::ruleDescription(rule) << "\n";
+            return 0;
+        }
+        if (argv[i][0] == '-') {
+            std::cerr << "qmh_lint: unknown option '" << argv[i]
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+        roots.emplace_back(argv[i]);
+    }
+    if (roots.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    const auto report = qmh::lint::lintTree(roots);
+    for (const auto &diagnostic : report.diagnostics)
+        std::cout << diagnostic.format() << "\n";
+    std::cerr << "qmh_lint: " << report.diagnostics.size()
+              << " finding(s) in " << report.files_scanned
+              << " file(s)\n";
+    return report.clean() ? 0 : 1;
+}
