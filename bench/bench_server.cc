@@ -1,0 +1,203 @@
+/** @file Experiment-server throughput: protocol rows/sec over TCP
+ *  for one client, for a concurrent client population sharing the
+ *  pool, and for warm shared-cache replay (zero simulation). */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/grid.hh"
+#include "api/service.hh"
+#include "bench_util.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "sweep/emit.hh"
+
+using namespace qmh;
+
+namespace {
+
+/** Cheap analytic points: the bench measures the transport and the
+ *  cache, not the engines (same trick as bench_session). */
+std::vector<std::string>
+bandwidthSpecs(std::size_t blocks_points)
+{
+    api::SpecGrid grid;
+    grid.base = api::parseSpec("experiment=bandwidth").spec;
+    std::vector<std::string> blocks;
+    for (std::size_t b = 0; b < blocks_points; ++b)
+        blocks.push_back(std::to_string(10 + 2 * b));
+    grid.axis("blocks", blocks);
+    grid.axis("utilization", {"0.25", "0.5", "0.75", "1"});
+    std::vector<std::string> specs;
+    for (const auto &spec : grid.expand())
+        specs.push_back(api::printSpec(spec));
+    return specs;
+}
+
+std::string
+requestLine(const std::string &id,
+            const std::vector<std::string> &specs, bool spec_mode)
+{
+    std::string line = "{\"id\":" + sweep::jsonQuote(id);
+    if (spec_mode)
+        line += ",\"seed_mode\":\"spec\"";
+    line += ",\"specs\":[";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i)
+            line += ",";
+        line += sweep::jsonQuote(specs[i]);
+    }
+    return line + "]}";
+}
+
+server::ServerConfig
+benchConfig(unsigned threads)
+{
+    server::ServerConfig config;
+    config.threads = threads;
+    return config;
+}
+
+/** serve() on a background thread for the lifetime of one bench. */
+struct RunningServer
+{
+    std::unique_ptr<server::Server> server;
+    std::thread thread;
+
+    explicit RunningServer(server::ServerConfig config)
+        : server(server::Server::create(std::move(config)).value()),
+          thread([raw = server.get()]() { raw->serve(); })
+    {
+    }
+    ~RunningServer() { finish(); }
+
+    /** Stop serving; only now is stats() safe (loop thread owns the
+     *  connection list while serve() runs). */
+    server::ServerStats finish()
+    {
+        server->stop();
+        if (thread.joinable())
+            thread.join();
+        return server->stats();
+    }
+};
+
+std::size_t
+runClient(std::uint16_t port, const std::string &line)
+{
+    auto client = server::Client::connect("127.0.0.1", port).value();
+    std::size_t rows = 0;
+    client
+        .request(line,
+                 [&rows](const std::string &record) {
+                     if (record.rfind("{\"type\":\"row\"", 0) == 0)
+                         ++rows;
+                 })
+        .value();
+    return rows;
+}
+
+void
+printServerDemo()
+{
+    benchBanner("Server",
+                "multi-client JSONL serving: shared pool, shared "
+                "result cache, byte-identical protocol");
+
+    RunningServer running(benchConfig(2));
+    const auto specs = bandwidthSpecs(16);
+    std::vector<std::thread> population;
+    for (std::size_t k = 0; k < 4; ++k)
+        population.emplace_back([&, k]() {
+            runClient(running.server->port(),
+                      requestLine("demo-" + std::to_string(k), specs,
+                                  true));
+        });
+    for (auto &client : population)
+        client.join();
+
+    const auto stats = running.finish();
+    std::printf("4 clients x %zu overlapping spec-mode points: "
+                "%zu rows, %zu simulated, cache %zu hit(s) / "
+                "%zu miss(es)\n",
+                specs.size(), stats.rows, stats.simulated,
+                stats.cache.hits, stats.cache.misses);
+}
+
+/** One client streaming one sweep: transport + protocol overhead on
+ *  top of what BM_SessionStreamSweep measures pool-side. */
+void
+BM_ServerStreamSweep(benchmark::State &state)
+{
+    RunningServer running(
+        benchConfig(static_cast<unsigned>(state.range(1))));
+    const auto line = requestLine(
+        "bench",
+        bandwidthSpecs(static_cast<std::size_t>(state.range(0))),
+        false);
+    std::size_t rows = 0;
+    for (auto _ : state)
+        rows += runClient(running.server->port(), line);
+    state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ServerStreamSweep)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/** N concurrent clients sweeping the same index-mode grid: fairness
+ *  and loop overhead under population load. */
+void
+BM_ServerConcurrentClients(benchmark::State &state)
+{
+    RunningServer running(benchConfig(2));
+    const std::size_t clients =
+        static_cast<std::size_t>(state.range(0));
+    const auto specs = bandwidthSpecs(16);
+    std::size_t rows = 0;
+    for (auto _ : state) {
+        std::vector<std::thread> population;
+        for (std::size_t k = 0; k < clients; ++k)
+            population.emplace_back([&]() {
+                runClient(running.server->port(),
+                          requestLine("bench", specs, false));
+            });
+        for (auto &client : population)
+            client.join();
+        rows += clients * specs.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ServerConcurrentClients)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/** Warm-cache replay: every point answered from the shared cache,
+ *  nothing simulated — the repeat-population hot path. */
+void
+BM_ServerCachedReplay(benchmark::State &state)
+{
+    RunningServer running(benchConfig(2));
+    const auto line = requestLine(
+        "bench",
+        bandwidthSpecs(static_cast<std::size_t>(state.range(0))),
+        true);
+    runClient(running.server->port(), line); // prime the cache
+    std::size_t rows = 0;
+    for (auto _ : state)
+        rows += runClient(running.server->port(), line);
+    state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_ServerCachedReplay)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+QMH_BENCH_MAIN(printServerDemo)

@@ -68,6 +68,37 @@ seedArg(const char *text)
     return api::parseUInt(text);
 }
 
+/** A parsed [HOST:]PORT endpoint (server listen / client connect). */
+struct HostPort
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+};
+
+/**
+ * "[HOST:]PORT" with a strict port in [0, 65535]; a bare "PORT"
+ * means loopback. nullopt on garbage (never coerces).
+ */
+inline std::optional<HostPort>
+hostPortArg(const char *text)
+{
+    std::string value(text);
+    HostPort endpoint;
+    std::string port_text = value;
+    if (const auto colon = value.rfind(':');
+        colon != std::string::npos) {
+        endpoint.host = value.substr(0, colon);
+        port_text = value.substr(colon + 1);
+        if (endpoint.host.empty())
+            return std::nullopt;
+    }
+    const auto port = api::parseUInt(port_text);
+    if (!port || *port > 65535)
+        return std::nullopt;
+    endpoint.port = static_cast<std::uint16_t>(*port);
+    return endpoint;
+}
+
 /** True for a `key=value` spec token (as opposed to a --flag). */
 inline bool
 isSpecToken(const std::string &arg)

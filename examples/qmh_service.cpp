@@ -24,6 +24,7 @@
 
 #include "api/service.hh"
 #include "cli_util.hh"
+#include "server/client.hh"
 
 namespace {
 
@@ -32,13 +33,62 @@ printUsage(const char *prog)
 {
     std::printf(
         "usage: %s [options] < requests.jsonl\n"
-        "  --threads N  worker threads (default: all cores)\n"
+        "  --threads N          worker threads (default: all cores)\n"
         "  --seed S     default base seed (requests may override)\n"
+        "  --connect HOST:PORT  forward requests to a qmh_serve\n"
+        "                       instance instead of sweeping locally\n"
+        "                       (responses are byte-identical)\n"
         "  --help       this message\n"
         "request:  {\"op\":\"sweep\",\"id\":\"r1\",\"specs\":[...],"
         "\"seed\":7,\"limit\":10}\n"
         "responses: accepted / row (streamed) / error / done\n",
         prog);
+}
+
+/**
+ * The --connect mode: the same stdin-to-stdout contract, with a
+ * remote qmh_serve doing the sweeping. Records stream to stdout as
+ * they arrive, one request at a time, in lockstep like the local
+ * loop.
+ */
+int
+runRemote(const qmh::cli::HostPort &endpoint)
+{
+    using namespace qmh;
+    auto connected =
+        server::Client::connect(endpoint.host, endpoint.port);
+    if (!connected.ok()) {
+        std::fprintf(stderr, "qmh_service: %s\n",
+                     connected.error().describe().c_str());
+        return 1;
+    }
+    auto client = std::move(connected).value();
+
+    std::size_t requests = 0, rows = 0, errors = 0;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        ++requests;
+        const auto served = client.request(
+            line, [&](const std::string &record) {
+                std::cout << record << std::endl;
+                if (record.rfind("{\"type\":\"row\"", 0) == 0)
+                    ++rows;
+                else if (record.rfind("{\"type\":\"error\"", 0) == 0)
+                    ++errors;
+            });
+        if (!served.ok()) {
+            std::fprintf(stderr, "qmh_service: %s\n",
+                         served.error().describe().c_str());
+            return 1;
+        }
+    }
+    std::fprintf(stderr,
+                 "qmh_service: served %zu request(s), %zu row(s), "
+                 "%zu error record(s)\n",
+                 requests, rows, errors);
+    return 0;
 }
 
 } // namespace
@@ -50,6 +100,7 @@ main(int argc, char **argv)
 
     unsigned threads = 0;
     std::uint64_t seed = sweep::SweepOptions{}.base_seed;
+    std::optional<cli::HostPort> connect;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -73,12 +124,23 @@ main(int argc, char **argv)
                 return 1;
             }
             seed = *parsed;
+        } else if (arg == "--connect") {
+            const auto parsed =
+                cli::hostPortArg(next_value("--connect"));
+            if (!parsed) {
+                std::fprintf(stderr, "--connect: bad HOST:PORT\n");
+                return 1;
+            }
+            connect = *parsed;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             printUsage(argv[0]);
             return 1;
         }
     }
+
+    if (connect)
+        return runRemote(*connect);
 
     api::Session session({.threads = threads, .base_seed = seed});
     const auto stats =

@@ -31,7 +31,8 @@ enum class ErrorCode {
     InvalidSpec,     ///< a spec failed Experiment::validate()
     MixedKinds,      ///< specs of different kinds in one submission
     BadSeeds,        ///< explicit seed list does not match the specs
-    ExecutionFailed  ///< an experiment threw while running
+    ExecutionFailed, ///< an experiment threw while running
+    Unavailable      ///< transport/capacity: the server refused entry
 };
 
 /** Wire name of @p code, e.g. "invalid_spec". */
@@ -44,6 +45,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::MixedKinds:      return "mixed_kinds";
       case ErrorCode::BadSeeds:        return "bad_seeds";
       case ErrorCode::ExecutionFailed: return "execution_failed";
+      case ErrorCode::Unavailable:     return "unavailable";
     }
     // qmh-lint: allow(typed-errors): exhaustive-switch guard — an out-of-range enum is memory corruption, not a request failure
     qmh_panic("errorCodeName: bad ErrorCode ", static_cast<int>(code));

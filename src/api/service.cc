@@ -3,8 +3,10 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/json.hh"
+#include "opt/result_cache.hh"
 #include "sweep/emit.hh"
 
 namespace qmh {
@@ -36,16 +38,76 @@ void
 writeError(std::ostream &out, const std::string &id,
            const Error &error)
 {
+    out << recordError(id, error) << std::endl;
+}
+
+} // namespace
+
+std::string
+recordAccepted(const std::string &id, std::size_t total,
+               const std::vector<std::string> &columns)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"accepted\",\"id\":" << sweep::jsonQuote(id)
+        << ",\"total\":" << total << ",\"columns\":[";
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        out << (c ? "," : "") << sweep::jsonQuote(columns[c]);
+    out << "]}";
+    return out.str();
+}
+
+std::string
+recordRow(const std::string &id, std::size_t index,
+          const std::vector<std::string> &columns,
+          const std::vector<sweep::Cell> &cells)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"row\",\"id\":" << sweep::jsonQuote(id)
+        << ",\"index\":" << index << ",\"cells\":{";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+        out << (c ? "," : "") << sweep::jsonQuote(columns[c]) << ":"
+            << cells[c].toJson();
+    out << "}}";
+    return out.str();
+}
+
+std::string
+recordError(const std::string &id, const Error &error)
+{
+    std::ostringstream out;
     out << "{\"type\":\"error\",\"id\":" << sweep::jsonQuote(id)
         << ",\"code\":\"" << errorCodeName(error.code)
         << "\",\"message\":" << sweep::jsonQuote(error.message)
         << ",\"details\":[";
     for (std::size_t i = 0; i < error.details.size(); ++i)
         out << (i ? "," : "") << sweep::jsonQuote(error.details[i]);
-    out << "]}" << std::endl;
+    out << "]}";
+    return out.str();
 }
 
-} // namespace
+std::string
+recordDone(const std::string &id, std::size_t rows, std::size_t total,
+           bool cancelled)
+{
+    std::ostringstream out;
+    out << "{\"type\":\"done\",\"id\":" << sweep::jsonQuote(id)
+        << ",\"rows\":" << rows << ",\"total\":" << total
+        << ",\"cancelled\":" << (cancelled ? "true" : "false") << "}";
+    return out.str();
+}
+
+std::vector<std::uint64_t>
+requestSeeds(const ServiceRequest &request, std::uint64_t session_base)
+{
+    if (request.seed_mode == SeedMode::Index)
+        return {};
+    const std::uint64_t base = request.seed.value_or(session_base);
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(request.specs.size());
+    for (const auto &spec : request.specs)
+        seeds.push_back(opt::specSeed(base, printSpec(spec)));
+    return seeds;
+}
 
 Outcome<ServiceRequest>
 parseServiceRequest(const std::string &line)
@@ -71,14 +133,32 @@ decodeServiceRequest(const json::Value &root)
         request.id = id->string();
     }
     if (const auto *op = root.find("op")) {
-        if (!op->isString() || op->string() != "sweep")
-            return badRequest("unknown op (only \"sweep\" is served)");
+        if (!op->isString())
+            return badRequest(
+                "unknown op (\"sweep\" and \"shutdown\" are served)");
+        if (op->string() == "shutdown")
+            request.op = ServiceOp::Shutdown;
+        else if (op->string() != "sweep")
+            return badRequest(
+                "unknown op (\"sweep\" and \"shutdown\" are served)");
     }
+    if (request.op == ServiceOp::Shutdown)
+        return request;  // no further fields apply
+
     if (const auto *seed = root.find("seed")) {
         const auto value = asUInt(*seed);
         if (!value)
             return badRequest("'seed' must be a non-negative integer");
         request.seed = *value;
+    }
+    if (const auto *mode = root.find("seed_mode")) {
+        if (mode->isString() && mode->string() == "index")
+            request.seed_mode = SeedMode::Index;
+        else if (mode->isString() && mode->string() == "spec")
+            request.seed_mode = SeedMode::Spec;
+        else
+            return badRequest(
+                "'seed_mode' must be \"index\" or \"spec\"");
     }
     if (const auto *limit = root.find("limit")) {
         const auto value = asUInt(*limit);
@@ -117,6 +197,7 @@ serveRequest(Session &session, const ServiceRequest &request,
 {
     SubmitOptions options;
     options.base_seed = request.seed;
+    options.seeds = requestSeeds(request, session.baseSeed());
     auto submitted = session.submit(request.specs, std::move(options));
     if (!submitted.ok()) {
         writeError(out, request.id, submitted.error());
@@ -125,13 +206,9 @@ serveRequest(Session &session, const ServiceRequest &request,
     }
     auto job = submitted.value();
 
-    out << "{\"type\":\"accepted\",\"id\":"
-        << sweep::jsonQuote(request.id)
-        << ",\"total\":" << job.totalPoints() << ",\"columns\":[";
     const auto &columns = job.columns();
-    for (std::size_t c = 0; c < columns.size(); ++c)
-        out << (c ? "," : "") << sweep::jsonQuote(columns[c]);
-    out << "]}" << std::endl;
+    out << recordAccepted(request.id, job.totalPoints(), columns)
+        << std::endl;
 
     std::size_t streamed = 0;
     bool stream_ended = false;  // nextRow ran dry before the limit
@@ -141,13 +218,8 @@ serveRequest(Session &session, const ServiceRequest &request,
             stream_ended = true;
             break;
         }
-        out << "{\"type\":\"row\",\"id\":"
-            << sweep::jsonQuote(request.id)
-            << ",\"index\":" << streamed << ",\"cells\":{";
-        for (std::size_t c = 0; c < row->size(); ++c)
-            out << (c ? "," : "") << sweep::jsonQuote(columns[c])
-                << ":" << (*row)[c].toJson();
-        out << "}}" << std::endl;
+        out << recordRow(request.id, streamed, columns, *row)
+            << std::endl;
         ++streamed;
     }
     job.cancel();  // no-op when every row was streamed
@@ -166,10 +238,9 @@ serveRequest(Session &session, const ServiceRequest &request,
     // withheld? — not the internal flag, which is also set by the
     // harmless cancel() above after a fully streamed job.
     const bool truncated = streamed < job.totalPoints();
-    out << "{\"type\":\"done\",\"id\":" << sweep::jsonQuote(request.id)
-        << ",\"rows\":" << streamed
-        << ",\"total\":" << job.totalPoints() << ",\"cancelled\":"
-        << (truncated ? "true" : "false") << "}" << std::endl;
+    out << recordDone(request.id, streamed, job.totalPoints(),
+                      truncated)
+        << std::endl;
     stats.rows += streamed;
 }
 
@@ -203,6 +274,11 @@ runService(Session &session, std::istream &in, std::ostream &out)
             continue;
         }
         ++stats.requests;
+        if (request.value().op == ServiceOp::Shutdown) {
+            out << recordDone(request.value().id, 0, 0, false)
+                << std::endl;
+            break;
+        }
         serveRequest(session, request.value(), out, stats);
     }
     return stats;

@@ -30,7 +30,28 @@
  *
  * Determinism: "seed" pins the job's base seed, so two identical
  * requests stream byte-identical row records regardless of thread
- * count.
+ * count. "seed_mode" picks how per-point streams derive from it:
+ *
+ *  - "index" (default) — sweep::pointSeed(base, position in the
+ *    request), the historical contract: a row depends on where it
+ *    sits in the spec list;
+ *  - "spec" — opt::specSeed(base, canonical spec string): a row is a
+ *    function of the spec alone, independent of list position, batch
+ *    composition, or which client asked. This is the mode the
+ *    experiment server's shared result cache memoizes (an
+ *    index-seeded row is not reusable across requests), and it makes
+ *    a server response byte-identical to a stdio run of the same
+ *    request line.
+ *
+ * A {"op":"shutdown","id":...} request answers with an empty "done"
+ * record and ends the serve loop — the line-mode twin of EOF, so a
+ * remote client can end a server session the same way closing stdin
+ * ends a stdio one.
+ *
+ * The record writers (recordAccepted/recordRow/recordError/
+ * recordDone) are exposed so the socket server (src/server/) emits
+ * bytes through the exact same formatters as the stdio loop; the two
+ * transports cannot drift apart.
  */
 
 #ifndef QMH_API_SERVICE_HH
@@ -50,12 +71,26 @@
 namespace qmh {
 namespace api {
 
-/** One decoded sweep request. */
+/** Operations the protocol serves. */
+enum class ServiceOp {
+    Sweep,    ///< run specs, stream rows
+    Shutdown  ///< end the serve loop (line-mode EOF)
+};
+
+/** Per-point seed derivation for a sweep request. */
+enum class SeedMode {
+    Index,  ///< sweep::pointSeed(base, request position) — default
+    Spec    ///< opt::specSeed(base, canonical spec) — cacheable rows
+};
+
+/** One decoded request. */
 struct ServiceRequest
 {
+    ServiceOp op = ServiceOp::Sweep;
     std::string id;                     ///< echoed in every record
     std::vector<ExperimentSpec> specs;  ///< points, in request order
     std::optional<std::uint64_t> seed;  ///< base-seed override
+    SeedMode seed_mode = SeedMode::Index;
     std::size_t limit = 0;              ///< max rows streamed; 0 = all
 };
 
@@ -78,6 +113,31 @@ struct ServiceStats
     std::size_t errors = 0;    ///< error records emitted (any source)
     std::size_t rows = 0;      ///< row records streamed
 };
+
+/**
+ * The wire records, one formatter per type, newline excluded. Every
+ * byte a transport emits goes through these four functions — the
+ * stdio loop below and the socket server share them, which is what
+ * the cross-transport byte-identity tests pin.
+ */
+std::string recordAccepted(const std::string &id, std::size_t total,
+                           const std::vector<std::string> &columns);
+std::string recordRow(const std::string &id, std::size_t index,
+                      const std::vector<std::string> &columns,
+                      const std::vector<sweep::Cell> &cells);
+std::string recordError(const std::string &id, const Error &error);
+std::string recordDone(const std::string &id, std::size_t rows,
+                       std::size_t total, bool cancelled);
+
+/**
+ * The explicit per-point seeds of @p request under its seed mode:
+ * empty for Index (the session derives pointSeed itself), one
+ * opt::specSeed per spec for Spec. @p session_base is used when the
+ * request carries no seed override.
+ */
+std::vector<std::uint64_t>
+requestSeeds(const ServiceRequest &request,
+             std::uint64_t session_base);
 
 /**
  * Run one request on @p session, streaming records to @p out and

@@ -24,6 +24,7 @@ struct JobState
     std::vector<std::string> columns;  ///< kind columns + "seed"
     std::vector<std::uint64_t> seeds;  ///< one per point
     std::size_t total = 0;
+    std::function<void()> on_retire;   ///< post-retirement hook
 
     std::atomic<std::size_t> next_claim{0};
     std::atomic<bool> cancel{false};
@@ -67,9 +68,13 @@ runJobWorker(const std::shared_ptr<JobState> &state)
         if (i >= state->total)
             return;
         if (state->cancel.load(std::memory_order_relaxed)) {
-            std::lock_guard<std::mutex> lock(state->mutex);
-            ++state->skipped;
-            retireLocked(*state);
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                ++state->skipped;
+                retireLocked(*state);
+            }
+            if (state->on_retire)
+                state->on_retire();
             continue;
         }
 
@@ -100,21 +105,25 @@ runJobWorker(const std::shared_ptr<JobState> &state)
                             {}};
         }
 
-        std::lock_guard<std::mutex> lock(state->mutex);
-        if (failure) {
-            if (!state->failure)
-                state->failure = std::move(failure);
-            state->cancel.store(true, std::memory_order_relaxed);
-            ++state->failed;  // it ran — that is not "skipped"
-        } else {
-            state->rows[i] = std::move(row);
-            state->row_done[i] = 1;
-            ++state->done;
-            while (state->prefix < state->total &&
-                   state->row_done[state->prefix])
-                ++state->prefix;
+        {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (failure) {
+                if (!state->failure)
+                    state->failure = std::move(failure);
+                state->cancel.store(true, std::memory_order_relaxed);
+                ++state->failed;  // it ran — that is not "skipped"
+            } else {
+                state->rows[i] = std::move(row);
+                state->row_done[i] = 1;
+                ++state->done;
+                while (state->prefix < state->total &&
+                       state->row_done[state->prefix])
+                    ++state->prefix;
+            }
+            retireLocked(*state);
         }
-        retireLocked(*state);
+        if (state->on_retire)
+            state->on_retire();
     }
 }
 
@@ -285,6 +294,7 @@ Session::startJob(std::vector<std::unique_ptr<Experiment>> experiments,
     }
 
     state->experiments = std::move(experiments);
+    state->on_retire = std::move(options.on_retire);
     state->rows.resize(state->total);
     state->row_done.assign(state->total, 0);
     state->finished = state->total == 0;

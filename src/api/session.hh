@@ -36,6 +36,7 @@
 #define QMH_API_SESSION_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -143,6 +144,15 @@ struct SubmitOptions
      * empty or exactly one per spec; overrides base_seed derivation.
      */
     std::vector<std::uint64_t> seeds;
+    /**
+     * Called after each point retires (complete, failed or skipped),
+     * from the worker thread that retired it, outside the job lock.
+     * An event loop hangs its wakeup here so it can poll rows only
+     * when there is something new, instead of spinning. Must be
+     * cheap, non-blocking, and must not touch the job handle. Not
+     * invoked for an empty submission (it is born finished).
+     */
+    std::function<void()> on_retire;
 };
 
 /** Owns (or borrows) a worker pool and runs jobs on it. */

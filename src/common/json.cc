@@ -448,5 +448,76 @@ parse(std::string_view text)
     return result;
 }
 
+// ---------------------------------------------------------------------------
+// LineSplitter
+// ---------------------------------------------------------------------------
+
+void
+LineSplitter::feed(std::string_view chunk)
+{
+    while (!chunk.empty()) {
+        const std::size_t newline = chunk.find('\n');
+        if (newline == std::string_view::npos) {
+            if (!_discarding) {
+                if (_partial.size() + chunk.size() > _max_line) {
+                    // Stop buffering the moment the cap is crossed;
+                    // the line is reported once, at its newline.
+                    _discarding = true;
+                    _partial.clear();
+                    _partial.shrink_to_fit();
+                } else {
+                    _partial.append(chunk);
+                }
+            }
+            return;
+        }
+
+        Line line;
+        if (_discarding ||
+            _partial.size() + newline > _max_line) {
+            line.oversized = true;
+            _discarding = false;
+        } else {
+            line.text = std::move(_partial);
+            line.text.append(chunk.substr(0, newline));
+            if (!line.text.empty() && line.text.back() == '\r')
+                line.text.pop_back();
+        }
+        _partial.clear();
+        _ready.push_back(std::move(line));
+        chunk.remove_prefix(newline + 1);
+    }
+}
+
+std::optional<LineSplitter::Line>
+LineSplitter::next()
+{
+    if (_ready_head >= _ready.size()) {
+        _ready.clear();
+        _ready_head = 0;
+        return std::nullopt;
+    }
+    return std::move(_ready[_ready_head++]);
+}
+
+std::optional<LineSplitter::Line>
+LineSplitter::finish()
+{
+    if (_discarding) {
+        _discarding = false;
+        Line line;
+        line.oversized = true;
+        return line;
+    }
+    if (_partial.empty())
+        return std::nullopt;
+    Line line;
+    line.text = std::move(_partial);
+    _partial.clear();
+    if (!line.text.empty() && line.text.back() == '\r')
+        line.text.pop_back();
+    return line;
+}
+
 } // namespace json
 } // namespace qmh

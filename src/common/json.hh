@@ -17,6 +17,7 @@
 #define QMH_COMMON_JSON_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -88,6 +89,58 @@ struct ParseResult
  * 64 levels is rejected.
  */
 ParseResult parse(std::string_view text);
+
+/**
+ * Incremental newline framing for the JSONL transports: socket reads
+ * arrive in arbitrary chunks, so a record may span several feed()
+ * calls or share one chunk with its neighbours. The splitter
+ * reassembles complete lines, strips one trailing '\r' (CRLF
+ * clients), and bounds memory: a line longer than max_line is
+ * *discarded* — never buffered — and surfaces once, as an oversized
+ * line, when its newline finally arrives, so a hostile or broken
+ * writer cannot balloon the server. The caller turns that flag into
+ * a typed error record; the splitter itself stays error-agnostic.
+ */
+class LineSplitter
+{
+  public:
+    /** One reassembled line. */
+    struct Line
+    {
+        std::string text;       ///< without the newline (or the CR)
+        bool oversized = false; ///< exceeded max_line; text is empty
+    };
+
+    explicit LineSplitter(std::size_t max_line = 1u << 20)
+        : _max_line(max_line)
+    {
+    }
+
+    std::size_t maxLine() const { return _max_line; }
+
+    /** Append a received chunk (may contain any number of lines). */
+    void feed(std::string_view chunk);
+
+    /** Next completed line in arrival order; nullopt = need more. */
+    std::optional<Line> next();
+
+    /**
+     * End of stream: the trailing unterminated data, if any, as a
+     * final line (JSONL tolerates a missing last newline). At most
+     * one call returns a value; the splitter is then empty.
+     */
+    std::optional<Line> finish();
+
+    /** Bytes currently buffered for the incomplete trailing line. */
+    std::size_t pending() const { return _partial.size(); }
+
+  private:
+    std::size_t _max_line;
+    std::string _partial;        ///< incomplete trailing line
+    bool _discarding = false;    ///< partial overflowed; drop to '\n'
+    std::vector<Line> _ready;    ///< completed lines (FIFO)
+    std::size_t _ready_head = 0; ///< consumed prefix of _ready
+};
 
 } // namespace json
 } // namespace qmh

@@ -104,10 +104,6 @@ Params::currentTechnology()
     return p;
 }
 
-// Deprecated alias, kept one release for out-of-tree callers.
-// qmh-lint: allow(no-wallclock): not a clock — compatibility alias for the Table-1 preset, removed next release
-Params Params::now() { return currentTechnology(); }
-
 Params
 Params::future()
 {

@@ -98,16 +98,6 @@ struct Params
 
     /** Projected values used for the CQLA analysis (paper Table 1). */
     static Params future();
-
-    /**
-     * Deprecated alias of currentTechnology(), kept for one release.
-     * The old name read like a clock call (the no-wallclock lint
-     * rule's exact target) while actually returning the paper's
-     * current-technology parameter preset.
-     */
-    [[deprecated("renamed to currentTechnology(): it returns the "
-                 "Table-1 preset, not a time")]]
-    static Params now();
 };
 
 } // namespace iontrap

@@ -1,0 +1,122 @@
+#include "event_loop.hh"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace qmh {
+namespace server {
+
+EventLoop::EventLoop()
+{
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0)
+        return; // valid() stays false; Server::create refuses to run
+    _wake_read = Fd(fds[0]);
+    _wake_write = Fd(fds[1]);
+    setNonBlocking(_wake_read.get());
+    setNonBlocking(_wake_write.get());
+}
+
+EventLoop::Entry *
+EventLoop::find(int fd)
+{
+    for (auto &entry : _entries)
+        if (entry.fd == fd && !entry.dead)
+            return &entry;
+    return nullptr;
+}
+
+void
+EventLoop::add(int fd, short events, Handler handler)
+{
+    _entries.push_back(Entry{fd, events, std::move(handler), false});
+}
+
+void
+EventLoop::setEvents(int fd, short events)
+{
+    if (auto *entry = find(fd))
+        entry->events = events;
+}
+
+void
+EventLoop::remove(int fd)
+{
+    // Mark, don't erase: remove() may run inside a handler while the
+    // dispatch walk holds indexes into _entries.
+    if (auto *entry = find(fd)) {
+        entry->dead = true;
+        entry->handler = nullptr;
+    }
+}
+
+void
+EventLoop::wakeup()
+{
+    const char byte = 0;
+    // A full pipe already guarantees a pending wakeup; EAGAIN is
+    // success for this purpose, and other failures only cost latency
+    // (the next poll timeout or fd event still runs the cycle hook).
+    [[maybe_unused]] const auto ignored =
+        ::write(_wake_write.get(), &byte, 1);
+}
+
+void
+EventLoop::drainWakePipe()
+{
+    char sink[256];
+    while (::read(_wake_read.get(), sink, sizeof sink) > 0) {
+    }
+}
+
+void
+EventLoop::run(const std::function<void()> &cycle)
+{
+    while (!_stop.load(std::memory_order_acquire)) {
+        std::vector<pollfd> fds;
+        fds.reserve(_entries.size() + 1);
+        fds.push_back(pollfd{_wake_read.get(), POLLIN, 0});
+        for (const auto &entry : _entries)
+            if (!entry.dead)
+                fds.push_back(pollfd{entry.fd, entry.events, 0});
+
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), -1);
+        if (ready < 0 && errno != EINTR)
+            break; // poll itself failed: unrecoverable loop state
+
+        if (ready > 0 && (fds[0].revents & POLLIN))
+            drainWakePipe();
+
+        // Dispatch against the polled snapshot: handlers may add or
+        // remove entries, so re-find each fd before calling.
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].revents == 0)
+                continue;
+            if (_stop.load(std::memory_order_acquire))
+                break;
+            if (auto *entry = find(fds[i].fd))
+                if (entry->handler)
+                    entry->handler(fds[i].revents);
+        }
+
+        std::erase_if(_entries, [](const Entry &entry) {
+            return entry.dead;
+        });
+
+        if (cycle)
+            cycle();
+    }
+}
+
+void
+EventLoop::stop()
+{
+    _stop.store(true, std::memory_order_release);
+    wakeup();
+}
+
+} // namespace server
+} // namespace qmh

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-threaded poll(2) event loop for the experiment server.
+ *
+ * One thread owns the loop and every handler runs on it; the only
+ * cross-thread entry points are wakeup() and stop(), which write one
+ * byte to a self-pipe so a sleeping poll() returns. That is exactly
+ * the hook SubmitOptions::on_retire needs: sweep workers retire
+ * points on pool threads, ring the pipe, and the loop thread drains
+ * job rows on its next cycle — no busy-polling, no locks around
+ * connection state.
+ *
+ * Fairness is structural: every cycle polls every registered fd and
+ * dispatches the ready ones in registration order, and handlers do
+ * bounded work per call (the Connection caps how many bytes it reads
+ * and writes per cycle), so one hot or stalled client cannot starve
+ * the rest.
+ */
+
+#ifndef QMH_SERVER_EVENT_LOOP_HH
+#define QMH_SERVER_EVENT_LOOP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "server/socket.hh"
+
+namespace qmh {
+namespace server {
+
+class EventLoop
+{
+  public:
+    /** Handler for one fd; @p revents is the poll() result mask. */
+    using Handler = std::function<void(short revents)>;
+
+    EventLoop();
+
+    /** Self-pipe creation can fail; an invalid loop must not run. */
+    bool valid() const { return _wake_read.valid(); }
+
+    /**
+     * Watch @p fd with @p events (POLLIN/POLLOUT). One handler per
+     * fd; registration order is dispatch order.
+     */
+    void add(int fd, short events, Handler handler);
+
+    /** Change the event mask of a registered fd (0 = parked). */
+    void setEvents(int fd, short events);
+
+    /** Stop watching @p fd (safe from inside its own handler). */
+    void remove(int fd);
+
+    /**
+     * Ring the self-pipe so a blocked poll() returns and the cycle
+     * hook runs. Thread-safe; the only EventLoop method that is.
+     */
+    void wakeup();
+
+    /**
+     * Dispatch until stop(). @p cycle runs after each dispatch round
+     * — wakeups with no fd activity still reach it, which is how
+     * job-row progress flows to connections.
+     */
+    void run(const std::function<void()> &cycle);
+
+    /** End run() after the current cycle. Thread-safe. */
+    void stop();
+
+    std::size_t watchedCount() const { return _entries.size(); }
+
+  private:
+    struct Entry
+    {
+        int fd = -1;
+        short events = 0;
+        Handler handler;
+        bool dead = false; ///< removed mid-dispatch; swept per cycle
+    };
+
+    Entry *find(int fd);
+    void drainWakePipe();
+
+    Fd _wake_read;
+    Fd _wake_write;
+    std::vector<Entry> _entries;   ///< registration order = fairness
+    std::atomic<bool> _stop{false}; ///< set anywhere; pipe wakes poll
+};
+
+} // namespace server
+} // namespace qmh
+
+#endif // QMH_SERVER_EVENT_LOOP_HH

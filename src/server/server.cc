@@ -1,0 +1,144 @@
+#include "server.hh"
+
+#include <poll.h>
+
+#include "api/service.hh"
+
+namespace qmh {
+namespace server {
+
+Server::Server(ServerConfig config)
+    : _config(std::move(config)),
+      _session(sweep::SweepOptions{_config.threads,
+                                   _config.base_seed}),
+      _cache(_config.base_seed, _config.cache)
+{
+}
+
+Server::~Server() = default;
+
+api::Outcome<std::unique_ptr<Server>>
+Server::create(ServerConfig config)
+{
+    std::unique_ptr<Server> server(new Server(std::move(config)));
+    if (!server->_loop.valid())
+        return api::Error{api::ErrorCode::Unavailable,
+                          "cannot create the event-loop wakeup pipe",
+                          {}};
+    if (!server->_config.cache_path.empty()) {
+        const auto problem =
+            server->_cache.open(server->_config.cache_path);
+        if (!problem.empty())
+            return api::Error{api::ErrorCode::Unavailable,
+                              "cache '" +
+                                  server->_config.cache_path +
+                                  "': " + problem,
+                              {}};
+    }
+    auto listener = Listener::create(server->_config.host,
+                                     server->_config.port);
+    if (!listener.ok())
+        return listener.error();
+    server->_listener = std::move(listener).value();
+    return server;
+}
+
+void
+Server::acceptPending()
+{
+    for (;;) {
+        Fd client = _listener.accept();
+        if (!client.valid())
+            return;
+        if (_connections.size() >= _config.max_clients) {
+            // A typed refusal the client can parse; one best-effort
+            // send — a refused client gets no flow control.
+            const auto record =
+                api::recordError(
+                    "", api::Error{api::ErrorCode::Unavailable,
+                                   "server at capacity (" +
+                                       std::to_string(
+                                           _config.max_clients) +
+                                       " clients)",
+                                   {}}) +
+                "\n";
+            sendSome(client.get(), record.data(), record.size());
+            ++_stats.rejected;
+            continue;
+        }
+        ++_stats.accepted;
+        auto connection = std::make_unique<Connection>(
+            std::move(client), _session, _loop, &_cache,
+            _config.connection);
+        Connection *raw = connection.get();
+        _loop.add(raw->fd(), raw->wantedEvents(),
+                  [raw](short revents) { raw->onEvent(revents); });
+        _connections.push_back(std::move(connection));
+    }
+}
+
+void
+Server::absorb(const ConnectionStats &stats)
+{
+    _stats.requests += stats.requests;
+    _stats.rows += stats.rows;
+    _stats.errors += stats.errors;
+    _stats.simulated += stats.simulated;
+}
+
+void
+Server::cycle()
+{
+    bool shutdown = false;
+    std::vector<std::unique_ptr<Connection>> alive;
+    alive.reserve(_connections.size());
+    for (auto &connection : _connections) {
+        connection->pump();
+        if (connection->shutdownFlushed())
+            shutdown = true;
+        if (connection->finished()) {
+            absorb(connection->stats());
+            _loop.remove(connection->fd());
+            continue; // destroys the connection (cancels its job)
+        }
+        _loop.setEvents(connection->fd(),
+                        connection->wantedEvents());
+        alive.push_back(std::move(connection));
+    }
+    _connections = std::move(alive);
+    if (shutdown)
+        _loop.stop();
+}
+
+void
+Server::serve()
+{
+    _loop.add(_listener.fd(), POLLIN,
+              [this](short) { acceptPending(); });
+    _loop.run([this]() { cycle(); });
+    _loop.remove(_listener.fd());
+}
+
+void
+Server::stop()
+{
+    _loop.stop();
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats stats = _stats;
+    for (const auto &connection : _connections) {
+        const auto &live = connection->stats();
+        stats.requests += live.requests;
+        stats.rows += live.rows;
+        stats.errors += live.errors;
+        stats.simulated += live.simulated;
+    }
+    stats.cache = _cache.stats();
+    return stats;
+}
+
+} // namespace server
+} // namespace qmh

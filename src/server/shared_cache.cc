@@ -1,0 +1,166 @@
+#include "shared_cache.hh"
+
+#include <algorithm>
+
+namespace qmh {
+namespace server {
+
+namespace {
+
+/** FNV-1a 64-bit — the shard selector (stable across runs). */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace
+
+SharedCache::SharedCache(std::uint64_t base_seed,
+                         SharedCacheConfig config)
+    : _base_seed(base_seed), _config(config)
+{
+    _config.shards = std::max<std::size_t>(1, _config.shards);
+    _config.capacity_per_shard =
+        std::max<std::size_t>(1, _config.capacity_per_shard);
+    _shards.reserve(_config.shards);
+    for (std::size_t i = 0; i < _config.shards; ++i)
+        _shards.push_back(std::make_unique<Shard>());
+}
+
+std::string
+SharedCache::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(_persistent_mutex);
+    return _persistent.open(path, _base_seed);
+}
+
+bool
+SharedCache::backed() const
+{
+    std::lock_guard<std::mutex> lock(_persistent_mutex);
+    return _persistent.backed();
+}
+
+SharedCache::Shard &
+SharedCache::shardFor(const std::string &spec_key)
+{
+    return *_shards[fnv1a(spec_key) % _shards.size()];
+}
+
+void
+SharedCache::placeLocked(Shard &shard, const std::string &spec_key,
+                         opt::CachedResult result)
+{
+    shard.lru.push_front(Entry{spec_key, std::move(result)});
+    shard.index[spec_key] = shard.lru.begin();
+    while (shard.lru.size() > _config.capacity_per_shard) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        ++shard.evictions;
+    }
+}
+
+std::optional<opt::CachedResult>
+SharedCache::lookup(const std::string &spec_key)
+{
+    auto &shard = shardFor(spec_key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto found = shard.index.find(spec_key);
+        if (found != shard.index.end()) {
+            // Promote to most recently used.
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             found->second);
+            ++shard.hits;
+            return found->second->result;
+        }
+    }
+
+    std::optional<opt::CachedResult> persisted;
+    {
+        // Only a *backed* ResultCache is a second tier. Unbacked it
+        // would be just another unbounded in-memory map, quietly
+        // resurrecting every LRU eviction and defeating the bound.
+        std::lock_guard<std::mutex> lock(_persistent_mutex);
+        if (_persistent.backed())
+            if (const auto *entry = _persistent.lookup(spec_key))
+                persisted = *entry;
+    }
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!persisted) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    // Re-home the backed entry unless a racing lookup beat us to it.
+    if (shard.index.find(spec_key) == shard.index.end()) {
+        placeLocked(shard, spec_key, *persisted);
+        ++shard.promotions;
+    }
+    ++shard.hits;
+    return persisted;
+}
+
+bool
+SharedCache::insert(const std::string &spec_key, std::uint64_t seed,
+                    std::vector<sweep::Cell> row)
+{
+    bool inserted = false;
+    auto &shard = shardFor(spec_key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.index.find(spec_key) == shard.index.end()) {
+            placeLocked(shard, spec_key,
+                        opt::CachedResult{seed, row});
+            ++shard.inserts;
+            inserted = true;
+        }
+    }
+    if (inserted) {
+        std::lock_guard<std::mutex> lock(_persistent_mutex);
+        // Also a no-op for keys the backing file already held; the
+        // memory tier may simply have evicted them since.
+        if (_persistent.backed())
+            _persistent.insert(spec_key, seed, std::move(row));
+    }
+    return inserted;
+}
+
+SharedCacheStats
+SharedCache::stats() const
+{
+    SharedCacheStats stats;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.hits += shard->hits;
+        stats.misses += shard->misses;
+        stats.inserts += shard->inserts;
+        stats.evictions += shard->evictions;
+        stats.promotions += shard->promotions;
+        stats.resident += shard->lru.size();
+    }
+    std::lock_guard<std::mutex> lock(_persistent_mutex);
+    stats.persisted = _persistent.size();
+    return stats;
+}
+
+std::vector<std::string>
+SharedCache::residentKeys() const
+{
+    std::vector<std::string> keys;
+    for (const auto &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &entry : shard->lru)
+            keys.push_back(entry.key);
+    }
+    return keys;
+}
+
+} // namespace server
+} // namespace qmh

@@ -1,0 +1,16 @@
+// Fixture: the typed-error rule covers the experiment server too.
+// test_lint.cc lints this text three ways: labeled as src/server/
+// (every finding fires), as src/api/ (same findings — one rule, two
+// domains), and as src/net/ (rule off, zero findings).
+
+int
+fixtureServerTypedErrors(int fd)
+{
+    if (fd < 0)
+        throw fd;                        // line 10
+    if (fd == 0)
+        qmh_panic("bad listener fd");    // line 12
+    if (fd > 1024)
+        abort();                         // line 14
+    return fd;
+}

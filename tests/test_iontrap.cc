@@ -33,25 +33,6 @@ TEST(Params, CurrentTechnologyValuesMatchPaperTable1)
     EXPECT_DOUBLE_EQ(p.trap_size_um, 200.0);
 }
 
-// The renamed now() survives one release as a deprecated alias; this
-// pin fails the day someone deletes it without the release note.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(Params, DeprecatedNowAliasStillReturnsTheCurrentPreset)
-{
-    // qmh-lint: allow(no-wallclock): exercising the deprecated alias on purpose — it returns the Table-1 preset
-    const auto alias = Params::now();
-    const auto current = Params::currentTechnology();
-    EXPECT_EQ(alias.name, current.name);
-    EXPECT_DOUBLE_EQ(alias.measure_us, current.measure_us);
-    EXPECT_DOUBLE_EQ(alias.double_gate_fail, current.double_gate_fail);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 TEST(Params, RegionDimensionIs50Microns)
 {
     const auto p = Params::future();

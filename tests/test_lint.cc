@@ -174,6 +174,26 @@ TEST(LintTypedErrors, FiresOnlyInsideTheApiDomain)
     EXPECT_TRUE(engine.clean()) << engine.diagnostics[0].format();
 }
 
+TEST(LintTypedErrors, ServerDomainIsEnforcedLikeTheApi)
+{
+    const auto text = fixtureText("server_typed_errors.cc");
+
+    const auto server = lintText("src/server/fixture.cc", text);
+    const Findings expect = {{10, "typed-errors"},
+                             {12, "typed-errors"},
+                             {14, "typed-errors"}};
+    EXPECT_EQ(findings(server), expect);
+
+    // One rule, two domains: the same text labeled src/api/ yields
+    // the identical findings.
+    const auto api = lintText("src/api/fixture.cc", text);
+    EXPECT_EQ(findings(api), expect);
+
+    // Outside both domains the rule stays off.
+    const auto engine = lintText("src/net/fixture.cc", text);
+    EXPECT_TRUE(engine.clean()) << engine.diagnostics[0].format();
+}
+
 TEST(LintBannedHeaders, FlagsEachBannedIncludeOnceAndOnlyReal)
 {
     const auto report = lintFile(fixturePath("banned_headers.cc"));

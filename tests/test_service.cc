@@ -6,6 +6,7 @@
 
 #include "api/service.hh"
 #include "common/json.hh"
+#include "opt/result_cache.hh"
 
 namespace qmh {
 namespace {
@@ -76,6 +77,118 @@ TEST(Json, RejectsPathologicalNesting)
 }
 
 // ---------------------------------------------------------------------------
+// json::LineSplitter
+// ---------------------------------------------------------------------------
+
+/** Every line ready so far, as text ("<oversized>" marks the flag). */
+std::vector<std::string>
+drained(json::LineSplitter &splitter)
+{
+    std::vector<std::string> out;
+    while (auto line = splitter.next())
+        out.push_back(line->oversized ? "<oversized>" : line->text);
+    return out;
+}
+
+TEST(LineSplitter, ReassemblesRecordsSplitAcrossArbitraryReads)
+{
+    json::LineSplitter splitter;
+    // One JSONL record sliced mid-token, plus a second record sharing
+    // its final chunk — the shapes socket reads actually produce.
+    splitter.feed(R"({"op":"swe)");
+    EXPECT_EQ(drained(splitter), std::vector<std::string>{});
+    EXPECT_EQ(splitter.pending(), 10u);
+    splitter.feed(R"(ep","id":"a"})" "\n" R"({"op":)");
+    EXPECT_EQ(drained(splitter),
+              std::vector<std::string>{R"({"op":"sweep","id":"a"})"});
+    splitter.feed("\"shutdown\"}\n");
+    EXPECT_EQ(drained(splitter),
+              std::vector<std::string>{R"({"op":"shutdown"})"});
+    EXPECT_EQ(splitter.pending(), 0u);
+}
+
+TEST(LineSplitter, ManyLinesInOneChunkComeOutInOrder)
+{
+    json::LineSplitter splitter;
+    splitter.feed("one\ntwo\nthree\n\nfive\n");
+    const std::vector<std::string> expect = {"one", "two", "three",
+                                             "", "five"};
+    EXPECT_EQ(drained(splitter), expect);
+    EXPECT_FALSE(splitter.finish().has_value());
+}
+
+TEST(LineSplitter, CrlfClientsLoseExactlyOneCarriageReturn)
+{
+    json::LineSplitter splitter;
+    splitter.feed("dos\r\nunix\nodd\r\r\n");
+    const std::vector<std::string> expect = {"dos", "unix", "odd\r"};
+    EXPECT_EQ(drained(splitter), expect);
+
+    // The CR is stripped even when the CRLF pair itself is split
+    // across two reads.
+    splitter.feed("split\r");
+    splitter.feed("\n");
+    EXPECT_EQ(drained(splitter), std::vector<std::string>{"split"});
+}
+
+TEST(LineSplitter, OversizedRecordIsDiscardedNeverBuffered)
+{
+    json::LineSplitter splitter(8);
+    // 9 bytes before the newline: one past the cap.
+    splitter.feed("012345678");
+    // The partial was dropped, not accumulated — this is the
+    // no-unbounded-buffering guarantee a hostile writer hits.
+    EXPECT_EQ(splitter.pending(), 0u);
+    splitter.feed("... megabytes more ...");
+    EXPECT_EQ(splitter.pending(), 0u);
+    EXPECT_EQ(drained(splitter), std::vector<std::string>{});
+
+    // The newline finally lands: one oversized marker, then the
+    // stream resumes cleanly with the next record.
+    splitter.feed("\nok\n");
+    const std::vector<std::string> expect = {"<oversized>", "ok"};
+    EXPECT_EQ(drained(splitter), expect);
+}
+
+TEST(LineSplitter, CapIsExclusiveAtExactlyMaxLine)
+{
+    json::LineSplitter splitter(8);
+    splitter.feed("01234567\n");  // exactly max_line: fine
+    EXPECT_EQ(drained(splitter),
+              std::vector<std::string>{"01234567"});
+    // A single oversized feed is also caught, not just accumulation.
+    splitter.feed("012345678\n");
+    EXPECT_EQ(drained(splitter),
+              std::vector<std::string>{"<oversized>"});
+}
+
+TEST(LineSplitter, FinishFlushesTheUnterminatedTail)
+{
+    json::LineSplitter splitter;
+    splitter.feed("complete\npartial");
+    EXPECT_EQ(drained(splitter),
+              std::vector<std::string>{"complete"});
+    const auto tail = splitter.finish();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_FALSE(tail->oversized);
+    EXPECT_EQ(tail->text, "partial");
+    // At most one flush; the splitter is then empty.
+    EXPECT_FALSE(splitter.finish().has_value());
+    EXPECT_EQ(splitter.pending(), 0u);
+}
+
+TEST(LineSplitter, FinishReportsAnOversizedTail)
+{
+    json::LineSplitter splitter(4);
+    splitter.feed("too long, never terminated");
+    const auto tail = splitter.finish();
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_TRUE(tail->oversized);
+    EXPECT_TRUE(tail->text.empty());
+    EXPECT_FALSE(splitter.finish().has_value());
+}
+
+// ---------------------------------------------------------------------------
 // parseServiceRequest
 // ---------------------------------------------------------------------------
 
@@ -83,14 +196,51 @@ TEST(Service, ParsesAFullRequest)
 {
     const auto parsed = api::parseServiceRequest(
         R"({"op":"sweep","id":"r7","seed":12,"limit":3,)"
+        R"("seed_mode":"spec",)"
         R"("specs":["experiment=cache n=64","experiment=cache"]})");
     ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
     const auto &request = parsed.value();
+    EXPECT_EQ(request.op, api::ServiceOp::Sweep);
     EXPECT_EQ(request.id, "r7");
     ASSERT_EQ(request.specs.size(), 2u);
     EXPECT_EQ(request.specs[0].n, 64);
     EXPECT_EQ(request.seed, std::uint64_t(12));
+    EXPECT_EQ(request.seed_mode, api::SeedMode::Spec);
     EXPECT_EQ(request.limit, 3u);
+}
+
+TEST(Service, ParsesAShutdownRequestWithoutSpecs)
+{
+    const auto parsed = api::parseServiceRequest(
+        R"({"op":"shutdown","id":"bye"})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(parsed.value().op, api::ServiceOp::Shutdown);
+    EXPECT_EQ(parsed.value().id, "bye");
+}
+
+TEST(Service, RequestSeedsFollowTheSeedMode)
+{
+    const auto parsed = api::parseServiceRequest(
+        R"({"seed":9,"seed_mode":"spec",)"
+        R"("specs":["experiment=cache n=64","experiment=cache"]})");
+    ASSERT_TRUE(parsed.ok());
+    const auto seeds = api::requestSeeds(parsed.value(), 1);
+    ASSERT_EQ(seeds.size(), 2u);
+    // Spec mode: each seed is a function of the spec alone, so it
+    // must agree with opt::specSeed over the canonical print.
+    EXPECT_EQ(seeds[0],
+              opt::specSeed(9,
+                            api::printSpec(parsed.value().specs[0])));
+    EXPECT_EQ(seeds[1],
+              opt::specSeed(9,
+                            api::printSpec(parsed.value().specs[1])));
+    EXPECT_NE(seeds[0], seeds[1]);
+
+    // Index mode (the default) leaves derivation to the session.
+    const auto indexed = api::parseServiceRequest(
+        R"({"specs":["experiment=cache n=64"]})");
+    ASSERT_TRUE(indexed.ok());
+    EXPECT_TRUE(api::requestSeeds(indexed.value(), 1).empty());
 }
 
 TEST(Service, RequestErrorsAreTyped)
@@ -109,6 +259,10 @@ TEST(Service, RequestErrorsAreTyped)
     EXPECT_EQ(code(R"({"seed":-1,"specs":[]})"),
               ErrorCode::BadRequest);
     EXPECT_EQ(code(R"({"seed":1.5,"specs":[]})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"seed_mode":"banana","specs":[]})"),
+              ErrorCode::BadRequest);
+    EXPECT_EQ(code(R"({"seed_mode":7,"specs":[]})"),
               ErrorCode::BadRequest);
     EXPECT_EQ(code(R"({"specs":["experiment=nope"]})"),
               ErrorCode::InvalidSpec);
@@ -210,6 +364,44 @@ TEST(Service, IdenticalRequestsStreamIdenticalBytes)
         "\"experiment=montecarlo trials=401\","
         "\"experiment=montecarlo trials=402\"]}\n";
     EXPECT_EQ(serve(request, 1), serve(request, 4));
+}
+
+TEST(Service, ShutdownAnswersDoneAndEndsTheLoop)
+{
+    const auto output = serve(
+        "{\"op\":\"shutdown\",\"id\":\"bye\"}\n"
+        "{\"id\":\"never\",\"specs\":[\"experiment=bandwidth\"]}\n");
+    const auto records = lines(output);
+    ASSERT_EQ(records.size(), 1u);  // the request after it is unread
+    EXPECT_EQ(records[0],
+              "{\"type\":\"done\",\"id\":\"bye\",\"rows\":0,"
+              "\"total\":0,\"cancelled\":false}");
+}
+
+TEST(Service, SpecSeedModeRowsAreIndependentOfListPosition)
+{
+    // The same two specs in both orders, spec-addressed seeds: each
+    // spec's cells (seed column included) must not move with its
+    // position — that independence is what lets a shared server
+    // cache replay a row into any client's request.
+    const auto forward = lines(serve(
+        "{\"id\":\"s\",\"seed\":5,\"seed_mode\":\"spec\",\"specs\":["
+        "\"experiment=montecarlo trials=400\","
+        "\"experiment=montecarlo trials=401\"]}\n"));
+    const auto backward = lines(serve(
+        "{\"id\":\"s\",\"seed\":5,\"seed_mode\":\"spec\",\"specs\":["
+        "\"experiment=montecarlo trials=401\","
+        "\"experiment=montecarlo trials=400\"]}\n"));
+    ASSERT_EQ(forward.size(), 4u);
+    ASSERT_EQ(backward.size(), 4u);
+    const auto cells = [](const std::string &record) {
+        const auto at = record.find("\"cells\"");
+        EXPECT_NE(at, std::string::npos) << record;
+        return record.substr(at);
+    };
+    EXPECT_EQ(cells(forward[1]), cells(backward[2]));
+    EXPECT_EQ(cells(forward[2]), cells(backward[1]));
+    EXPECT_NE(cells(forward[1]), cells(forward[2]));
 }
 
 } // namespace

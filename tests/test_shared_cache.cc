@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for server::SharedCache — the eviction policy, the
+ * two-tier promotion path, and thread-safety under concurrent
+ * clients (the TSan job runs this suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "opt/result_cache.hh"
+#include "server/shared_cache.hh"
+
+namespace qmh {
+namespace {
+
+constexpr std::uint64_t kBase = 7;
+
+std::vector<sweep::Cell>
+rowFor(const std::string &key)
+{
+    return {sweep::Cell(key), sweep::Cell(1.5),
+            sweep::Cell(std::int64_t(key.size()))};
+}
+
+std::string
+cellBytes(const std::vector<sweep::Cell> &row)
+{
+    std::string joined;
+    for (const auto &cell : row)
+        joined += cell.toJson() + ",";
+    return joined;
+}
+
+bool
+put(server::SharedCache &cache, const std::string &key)
+{
+    return cache.insert(key, opt::specSeed(cache.baseSeed(), key),
+                        rowFor(key));
+}
+
+/** A self-deleting temp file path (mkstemp keeps lint's no-rand). */
+class TempPath
+{
+  public:
+    TempPath()
+    {
+        char name[] = "/tmp/qmh_shared_cache_XXXXXX";
+        const int fd = ::mkstemp(name);
+        if (fd >= 0)
+            ::close(fd);
+        _path = name;
+        std::remove(_path.c_str()); // open() treats missing as empty
+    }
+    ~TempPath() { std::remove(_path.c_str()); }
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+// ---------------------------------------------------------------------------
+// Eviction policy (the contract the ISSUE pins): sharded LRU, least
+// recently *used*, where a lookup hit counts as a use.
+// ---------------------------------------------------------------------------
+
+TEST(SharedCache, EvictsTheLeastRecentlyUsedEntry)
+{
+    // One shard makes residentKeys() a total recency order.
+    server::SharedCache cache(kBase,
+                              {.shards = 1, .capacity_per_shard = 2});
+    EXPECT_TRUE(put(cache, "a"));
+    EXPECT_TRUE(put(cache, "b"));
+    EXPECT_EQ(cache.residentKeys(),
+              (std::vector<std::string>{"b", "a"}));
+
+    // Touch "a": it is now the most recent, so "b" is the victim.
+    ASSERT_TRUE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.residentKeys(),
+              (std::vector<std::string>{"a", "b"}));
+
+    EXPECT_TRUE(put(cache, "c"));
+    EXPECT_EQ(cache.residentKeys(),
+              (std::vector<std::string>{"c", "a"}));
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.resident, 2u);
+    EXPECT_EQ(stats.inserts, 3u);
+}
+
+TEST(SharedCache, UnbackedEvictionForgetsTheEntry)
+{
+    server::SharedCache cache(kBase,
+                              {.shards = 1, .capacity_per_shard = 1});
+    EXPECT_TRUE(put(cache, "a"));
+    EXPECT_TRUE(put(cache, "b")); // evicts "a"; no persistent tier
+    EXPECT_FALSE(cache.lookup("a").has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SharedCache, FirstWriterWinsOnDuplicateInsert)
+{
+    server::SharedCache cache(kBase,
+                              {.shards = 1, .capacity_per_shard = 4});
+    EXPECT_TRUE(cache.insert("k", opt::specSeed(kBase, "k"),
+                             rowFor("k")));
+    EXPECT_FALSE(cache.insert("k", opt::specSeed(kBase, "k"),
+                              {sweep::Cell("imposter")}));
+    const auto hit = cache.lookup("k");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(cellBytes(hit->row), cellBytes(rowFor("k")));
+    EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(SharedCache, ConfigMinimumsAreClamped)
+{
+    server::SharedCache cache(kBase,
+                              {.shards = 0, .capacity_per_shard = 0});
+    EXPECT_TRUE(put(cache, "only"));
+    EXPECT_TRUE(cache.lookup("only").has_value());
+    EXPECT_TRUE(put(cache, "next")); // cap clamps to 1: evicts "only"
+    EXPECT_EQ(cache.residentKeys(),
+              (std::vector<std::string>{"next"}));
+}
+
+// ---------------------------------------------------------------------------
+// The persistent tier: eviction never loses a backed entry, hits
+// promote back into memory, and the file is plain opt::ResultCache.
+// ---------------------------------------------------------------------------
+
+TEST(SharedCache, BackedEvictionReloadsFromThePersistentTier)
+{
+    TempPath path;
+    server::SharedCache cache(kBase,
+                              {.shards = 1, .capacity_per_shard = 2});
+    ASSERT_EQ(cache.open(path.str()), "");
+    ASSERT_TRUE(cache.backed());
+
+    EXPECT_TRUE(put(cache, "a"));
+    EXPECT_TRUE(put(cache, "b"));
+    EXPECT_TRUE(put(cache, "c")); // evicts "a" from memory only
+
+    const auto hit = cache.lookup("a");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->seed, opt::specSeed(kBase, "a"));
+    EXPECT_EQ(cellBytes(hit->row), cellBytes(rowFor("a")));
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_EQ(stats.persisted, 3u);
+    // The promotion re-homed "a", evicting the then-LRU "b".
+    EXPECT_EQ(cache.residentKeys(),
+              (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(SharedCache, SharesTheFileFormatWithTheOptimizerCache)
+{
+    TempPath path;
+    {
+        opt::ResultCache writer;
+        ASSERT_EQ(writer.open(path.str(), kBase), "");
+        ASSERT_TRUE(writer.insert("x", opt::specSeed(kBase, "x"),
+                                  rowFor("x")));
+    }
+    server::SharedCache cache(kBase, {.shards = 1});
+    ASSERT_EQ(cache.open(path.str()), "");
+    const auto hit = cache.lookup("x");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(cellBytes(hit->row), cellBytes(rowFor("x")));
+
+    // The seed-identity check survives the promotion: a mismatched
+    // base seed is a typed diagnostic, not silent wrong replay.
+    server::SharedCache wrong(kBase + 1, {.shards = 1});
+    EXPECT_NE(wrong.open(path.str()), "");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many threads, few keys, tiny shards — the shape that
+// makes every lock and eviction path race if it can.
+// ---------------------------------------------------------------------------
+
+TEST(SharedCache, StaysCoherentUnderConcurrentClients)
+{
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kRounds = 200;
+    constexpr std::size_t kKeys = 24;
+
+    TempPath path;
+    server::SharedCache cache(kBase,
+                              {.shards = 4, .capacity_per_shard = 4});
+    ASSERT_EQ(cache.open(path.str()), "");
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&cache, t]() {
+            for (std::size_t round = 0; round < kRounds; ++round) {
+                const std::string key =
+                    "spec-" +
+                    std::to_string((t * 7 + round) % kKeys);
+                if (const auto hit = cache.lookup(key)) {
+                    // A torn row would show up here.
+                    ASSERT_EQ(cellBytes(hit->row),
+                              cellBytes(rowFor(key)));
+                } else {
+                    cache.insert(
+                        key, opt::specSeed(kBase, key), rowFor(key));
+                }
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds);
+    // Every key is touched; duplicates collapse in the backing file.
+    EXPECT_EQ(stats.persisted, kKeys);
+    EXPECT_LE(stats.resident, 16u); // 4 shards x 4 entries
+}
+
+} // namespace
+} // namespace qmh

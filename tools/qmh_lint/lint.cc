@@ -36,8 +36,9 @@ constexpr RuleInfo rule_infos[] = {
      "reach rows, cache files or schedules — iterate a sorted "
      "snapshot"},
     {"typed-errors",
-     "src/api request paths return Outcome; throw/exit/qmh_panic are "
-     "reserved for internal invariant violations"},
+     "src/api and src/server request paths return Outcome; "
+     "throw/exit/qmh_panic are reserved for internal invariant "
+     "violations"},
     {"banned-headers",
      "headers that exist to break the other rules (<ctime>, <random>, "
      "<sys/time.h>) stay out of the tree"},
@@ -85,10 +86,13 @@ Policy
 policyFor(std::string_view path)
 {
     Policy policy;
-    // typed-errors is scoped to the facade: that is where the typed
-    // Outcome contract lives. Everywhere else qmh_panic IS the
-    // documented failure mode for programming errors.
-    if (path.find("src/api/") != std::string_view::npos)
+    // typed-errors is scoped to the request domains: the facade and
+    // the experiment server, where caller mistakes and transport
+    // failures must come back as Outcome values. Everywhere else
+    // qmh_panic IS the documented failure mode for programming
+    // errors.
+    if (path.find("src/api/") != std::string_view::npos ||
+        path.find("src/server/") != std::string_view::npos)
         policy.typed_errors = true;
     // The sanctioned RNG home may name raw engines (to wrap, compare
     // against, or document them) without tripping its own rule.

@@ -17,8 +17,8 @@
  *                       code that emits rows, persists caches or
  *                       builds schedules — hash order must never
  *                       reach an output channel;
- *  - typed-errors       src/api request paths return Outcome instead
- *                       of panicking/throwing/exiting;
+ *  - typed-errors       src/api and src/server request paths return
+ *                       Outcome instead of panicking/throwing/exiting;
  *  - banned-headers     headers that exist only to break the rules
  *                       above (<ctime>, <random>, ...) stay out.
  *
@@ -75,9 +75,10 @@ const char *ruleDescription(std::string_view rule);
 
 /**
  * Lint @p text as if it were the file @p policy_path. The path picks
- * the per-directory policy (typed-errors only under src/api/,
- * no-raw-rand waived inside the sanctioned src/common/random home),
- * so tests can label fixture content into any policy domain.
+ * the per-directory policy (typed-errors only under src/api/ and
+ * src/server/, no-raw-rand waived inside the sanctioned
+ * src/common/random home), so tests can label fixture content into
+ * any policy domain.
  */
 Report lintText(std::string_view policy_path, std::string_view text);
 
