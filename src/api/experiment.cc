@@ -25,6 +25,27 @@ checkRange(std::vector<std::string> &errors, bool ok,
 }
 
 /**
+ * Range checks of the banked-memory knobs, shared by the two kinds
+ * that charge traffic through sim::BankedMemory. The spec parser
+ * bounds them, but a C++-built spec can hold 0, which the component
+ * refuses fatally — catch it here so it stays a typed diagnostic.
+ */
+void
+checkMemoryKnobs(std::vector<std::string> &errors,
+                 const ExperimentSpec &spec, const char *kind)
+{
+    if (spec.mem_banks < 1)
+        errors.push_back(std::string(kind) +
+                         ": mem_banks must be >= 1");
+    if (spec.mem_ports < 1)
+        errors.push_back(std::string(kind) +
+                         ": mem_ports must be >= 1");
+    if (spec.mem_buffer < 1)
+        errors.push_back(std::string(kind) +
+                         ": mem_buffer must be >= 1");
+}
+
+/**
  * The shared cache auto-sizing rule of the cache and trace kinds:
  * capacity == 0 resolves to capacity_x times the workload's PE qubit
  * count. Truncate, don't round: the paper-figure capacities (e.g.
@@ -75,15 +96,19 @@ class HierarchyExperiment final : public Experiment
                        _spec.workload == "modexp",
                    "hierarchy: workload must be draper or modexp "
                    "(an adder stream)");
+        checkMemoryKnobs(errors, _spec, "hierarchy");
         return errors;
     }
 
     std::vector<std::string> columns() const override
     {
         return {"spec", "code", "n", "transfers", "blocks",
+                "mem_banks", "mem_ports",
                 "l1_fraction", "makespan_s", "baseline_s",
                 "makespan_speedup", "mean_adder_speedup",
                 "level1_adds", "level2_adds", "transfer_utilization",
+                "bank_conflicts", "mem_stall_ticks", "mem_peak_queue",
+                "mem_mean_queue", "mem_utilization",
                 "events_executed"};
     }
 
@@ -97,6 +122,11 @@ class HierarchyExperiment final : public Experiment
         config.total_adders = _spec.adders;
         config.level1_fraction = _spec.l1_fraction;
         config.chain_dependent_fraction = _spec.chain_fraction;
+        config.mem_banks = _spec.mem_banks;
+        config.mem_ports = _spec.mem_ports;
+        config.mem_buffer =
+            static_cast<std::size_t>(_spec.mem_buffer);
+        config.cycles_per_line = _spec.cycles_per_line;
         const auto result =
             cqla::runHierarchySim(config, _spec.params());
         return {printSpec(_spec),
@@ -104,6 +134,8 @@ class HierarchyExperiment final : public Experiment
                 _spec.n,
                 _spec.transfers,
                 _spec.blocks,
+                _spec.mem_banks,
+                _spec.mem_ports,
                 _spec.l1_fraction,
                 result.makespan_s,
                 result.baseline_s,
@@ -112,6 +144,11 @@ class HierarchyExperiment final : public Experiment
                 result.level1_adds,
                 result.level2_adds,
                 result.transfer_utilization,
+                result.bank_conflicts,
+                result.mem_stall_ticks,
+                result.mem_peak_queue,
+                result.mem_mean_queue,
+                result.mem_utilization,
                 result.events_executed};
     }
 };
@@ -312,15 +349,21 @@ class TraceExperiment final : public Experiment
         checkRange(errors, _spec.gates <= 1000000,
                    "trace: gates must be <= 1000000 (event-driven "
                    "cost grows per gate)");
+        checkMemoryKnobs(errors, _spec, "trace");
         return errors;
     }
 
     std::vector<std::string> columns() const override
     {
         return {"spec", "workload", "n", "blocks", "transfers",
-                "capacity", "makespan_s", "baseline_s", "speedup",
+                "capacity", "mem_banks", "mem_ports",
+                "makespan_s", "baseline_s", "speedup",
                 "accesses", "hits", "misses", "evictions", "hit_rate",
-                "transfer_utilization", "block_utilization",
+                "transfer_utilization",
+                "mem_requests", "writebacks", "bank_conflicts",
+                "mem_stall_ticks", "mem_peak_queue", "mem_mean_queue",
+                "mem_utilization",
+                "block_utilization",
                 "peak_in_flight", "mean_in_flight",
                 "events_executed"};
     }
@@ -334,6 +377,11 @@ class TraceExperiment final : public Experiment
         config.blocks = _spec.blocks;
         config.transfers = _spec.transfers;
         config.capacity = static_cast<std::size_t>(capacity);
+        config.mem_banks = _spec.mem_banks;
+        config.mem_ports = _spec.mem_ports;
+        config.mem_buffer =
+            static_cast<std::size_t>(_spec.mem_buffer);
+        config.cycles_per_line = _spec.cycles_per_line;
         const auto result =
             trace::runTrace(workload, config, _spec.params());
         return {printSpec(_spec),
@@ -342,6 +390,8 @@ class TraceExperiment final : public Experiment
                 _spec.blocks,
                 _spec.transfers,
                 capacity,
+                _spec.mem_banks,
+                _spec.mem_ports,
                 result.makespan_s,
                 result.baseline_s,
                 result.speedup,
@@ -351,6 +401,13 @@ class TraceExperiment final : public Experiment
                 result.evictions,
                 result.hit_rate,
                 result.transfer_utilization,
+                result.mem_requests,
+                result.writebacks,
+                result.bank_conflicts,
+                result.mem_stall_ticks,
+                result.mem_peak_queue,
+                result.mem_mean_queue,
+                result.mem_utilization,
                 result.block_utilization,
                 result.peak_in_flight,
                 result.mean_in_flight,

@@ -154,6 +154,14 @@ const FieldDef field_defs[] = {
      QMH_INT_FIELD(transfers, 1, 100000)},
     {"blocks", "compute blocks", SpecKeyKind::Int,
      QMH_INT_FIELD(blocks, 1, 1000000)},
+    {"mem_banks", "level-2 memory banks (address % banks)",
+     SpecKeyKind::Int, QMH_INT_FIELD(mem_banks, 1, 4096)},
+    {"mem_ports", "concurrent memory requests in service",
+     SpecKeyKind::Int, QMH_INT_FIELD(mem_ports, 1, 4096)},
+    {"mem_buffer", "bounded request-buffer depth per bank",
+     SpecKeyKind::Int, QMH_INT_FIELD(mem_buffer, 1, 65536)},
+    {"cycles_per_line", "extra bank service ticks per line",
+     SpecKeyKind::Int, QMH_INT_FIELD(cycles_per_line, 0, 1000000000)},
     {"adders", "additions in the hierarchy stream", SpecKeyKind::UInt,
      QMH_U64_FIELD(adders)},
     {"l1_fraction", "share of additions routed to level 1",
@@ -356,8 +364,9 @@ specSet(ExperimentSpec &spec, std::string_view key,
 {
     const auto *field = findField(key);
     if (!field)
-        return "unknown key '" + std::string(key) +
-               "' (see specKeys())";
+        // The full key list plus a did-you-mean suggestion: a typoed
+        // knob (mem_bank for mem_banks) fails with the fix in hand.
+        return unknownNameDiagnostic("spec key", key, specKeys());
     return field->set(spec, value);
 }
 

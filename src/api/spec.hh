@@ -88,6 +88,12 @@ struct ExperimentSpec
     double l1_fraction = 1.0 / 3.0;   ///< share routed to level 1
     double chain_fraction = 0.0;      ///< serially dependent share
 
+    // --- banked level-2 memory (hierarchy / trace kinds) ---
+    unsigned mem_banks = 8;           ///< memory banks (addr % banks)
+    unsigned mem_ports = 4;           ///< concurrent requests served
+    std::uint64_t mem_buffer = 8;     ///< bounded request deque per bank
+    std::uint64_t cycles_per_line = 0;///< extra bank ticks per line
+
     // --- cache / trace knobs ---
     std::uint64_t capacity = 0;  ///< cached qubits; 0 = capacity_x * PE
     double capacity_x = 1.0;     ///< auto-capacity multiplier of PE

@@ -24,7 +24,8 @@ QubitCache::QubitCache(std::size_t capacity) : _capacity(capacity)
 }
 
 bool
-QubitCache::touch(circuit::QubitId qubit)
+QubitCache::touch(circuit::QubitId qubit,
+                  std::vector<circuit::QubitId> *evicted)
 {
     const auto it = _entries.find(qubit);
     if (it != _entries.end()) {
@@ -36,6 +37,8 @@ QubitCache::touch(circuit::QubitId qubit)
         _lru.pop_back();
         _entries.erase(victim);
         ++_evictions;
+        if (evicted)
+            evicted->push_back(victim);
     }
     _lru.push_front(qubit);
     _entries[qubit] = _lru.begin();
@@ -70,18 +73,20 @@ CacheState::missingOperands(const circuit::Instruction &inst) const
     return missing;
 }
 
-void
+std::vector<circuit::QubitId>
 CacheState::access(const circuit::Instruction &inst)
 {
+    std::vector<circuit::QubitId> evicted;
     for (const auto &q : inst.operands()) {
         if (!isCacheable(q))
             continue;
         ++_accesses;
-        if (_cache.touch(q))
+        if (_cache.touch(q, &evicted))
             ++_hits;
         else
             ++_misses;
     }
+    return evicted;
 }
 
 void

@@ -55,8 +55,11 @@ class QubitCache
     /**
      * Access @p qubit: returns true on hit. On miss the qubit is
      * brought in, evicting the least-recently-used entry if full.
+     * When @p evicted is non-null the victim (if any) is appended to
+     * it, so engines can charge writeback traffic for what falls out.
      */
-    bool touch(circuit::QubitId qubit);
+    bool touch(circuit::QubitId qubit,
+               std::vector<circuit::QubitId> *evicted = nullptr);
 
     /** Non-mutating lookup. */
     bool contains(circuit::QubitId qubit) const;
@@ -124,9 +127,12 @@ class CacheState
     /**
      * Issue @p inst against the cache: touch every cacheable operand,
      * counting hits and misses; missing operands are brought in
-     * (evicting LRU entries when full).
+     * (evicting LRU entries when full). Returns the qubits evicted by
+     * this access, in eviction order — the writeback traffic the
+     * issue generated. Callers that do not model writebacks may
+     * ignore the return value.
      */
-    void access(const circuit::Instruction &inst);
+    std::vector<circuit::QubitId> access(const circuit::Instruction &inst);
 
     /** Reset the access counters, keeping residency (warm start). */
     void resetCounters();

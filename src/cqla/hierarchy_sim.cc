@@ -8,6 +8,7 @@
 #include "common/units.hh"
 #include "hierarchy.hh"
 #include "net/transfer.hh"
+#include "sim/banked_memory.hh"
 #include "sim/event_queue.hh"
 #include "sim/transfer_channels.hh"
 
@@ -49,6 +50,16 @@ runHierarchySim(const HierarchySimConfig &config,
 
     sim::EventQueue eq;
     sim::TransferChannels channels(eq, config.parallel_transfers);
+    sim::BankedMemoryConfig mem_config;
+    mem_config.banks = config.mem_banks;
+    mem_config.ports = config.mem_ports;
+    mem_config.buffer = config.mem_buffer;
+    // The bank stages one critical set per request: the base charge
+    // is one qubit-transfer time (never zero), plus the configured
+    // per-line cost for each critical qubit in the set.
+    mem_config.cycles_per_request = std::max<Tick>(1, per_qubit);
+    mem_config.cycles_per_line = config.cycles_per_line;
+    sim::BankedMemory memory(eq, "l2-memory", mem_config);
 
     HierarchySimResult result;
     const auto l1_target = static_cast<std::uint64_t>(std::llround(
@@ -88,19 +99,25 @@ runHierarchySim(const HierarchySimConfig &config,
             config.chain_dependent_fraction > 0.0 &&
             static_cast<double>(l1_started % 100) <
                 config.chain_dependent_fraction * 100.0;
+        // Successive additions walk the banks round-robin, the
+        // natural interleaving of a striped accumulator layout.
+        const std::uint64_t address = l1_started;
         ++l1_started;
-        // One channel pipelines the batch for its wave latency while
-        // all critical qubits charge the busy accounting.
-        channels.transfer(
-            transfer_latency,
-            static_cast<Tick>(critical_qubits) * per_qubit,
-            [&, chained]() {
-                const Tick compute_start =
-                    chained ? std::max(eq.now(), l2_busy_until)
-                            : eq.now();
-                eq.schedule(compute_start + t1_compute,
-                            [&]() { dispatch_l1(); });
-            });
+        // The owning bank stages the critical set, then one channel
+        // pipelines the batch for its wave latency while all critical
+        // qubits charge the busy accounting.
+        memory.request(address, critical_qubits, [&, chained]() {
+            channels.transfer(
+                transfer_latency,
+                static_cast<Tick>(critical_qubits) * per_qubit,
+                [&, chained]() {
+                    const Tick compute_start =
+                        chained ? std::max(eq.now(), l2_busy_until)
+                                : eq.now();
+                    eq.schedule(compute_start + t1_compute,
+                                [&]() { dispatch_l1(); });
+                });
+        });
     };
 
     eq.schedule(0, [&]() { dispatch_l2(); });
@@ -130,6 +147,12 @@ runHierarchySim(const HierarchySimConfig &config,
         qmh_panic("hierarchy sim executed no events");
     result.events_executed = eq.executed();
     result.transfer_utilization = channels.utilization(eq.now());
+    result.mem_requests = memory.requests();
+    result.bank_conflicts = memory.bankConflicts();
+    result.mem_stall_ticks = memory.stallTicks();
+    result.mem_peak_queue = memory.peakQueue();
+    result.mem_mean_queue = memory.meanQueue(eq.now());
+    result.mem_utilization = memory.utilization(eq.now());
     return result;
 }
 

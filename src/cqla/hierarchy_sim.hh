@@ -29,6 +29,7 @@
 
 #include <cstdint>
 
+#include "common/units.hh"
 #include "ecc/code.hh"
 #include "iontrap/params.hh"
 
@@ -51,6 +52,14 @@ struct HierarchySimConfig
      * independent partial products and overlap freely across regions.
      */
     double chain_dependent_fraction = 0.0;
+
+    // Banked level-2 memory in front of the transfer network
+    // (sim::BankedMemory): every level-1 addition's critical set is
+    // first served by a bank before its transfer wave departs.
+    unsigned mem_banks = 8;       ///< independent banks
+    unsigned mem_ports = 4;       ///< concurrent requests in service
+    std::size_t mem_buffer = 8;   ///< bounded request deque per bank
+    Tick cycles_per_line = 0;     ///< extra bank ticks per qubit line
 };
 
 /** Measured outcomes. */
@@ -63,6 +72,16 @@ struct HierarchySimResult
     std::uint64_t level1_adds = 0;
     std::uint64_t level2_adds = 0;
     double transfer_utilization = 0.0;
+
+    // Banked level-2 memory contention (one request per level-1 add).
+    std::uint64_t mem_requests = 0;
+    /** Requests whose bank-service start was delayed by contention. */
+    std::uint64_t bank_conflicts = 0;
+    Tick mem_stall_ticks = 0;       ///< total bank-queue waiting time
+    std::size_t mem_peak_queue = 0; ///< deepest single-bank queue
+    double mem_mean_queue = 0.0;    ///< time-weighted mean queued
+    double mem_utilization = 0.0;   ///< busy fraction of bank capacity
+
     std::uint64_t events_executed = 0;
 };
 

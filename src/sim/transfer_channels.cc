@@ -5,8 +5,10 @@
 namespace qmh {
 namespace sim {
 
-TransferChannels::TransferChannels(EventQueue &eq, unsigned capacity)
-    : _eq(eq), _channels(eq, "transfer-channels", capacity)
+TransferChannels::TransferChannels(EventQueue &eq, unsigned capacity,
+                                   std::size_t buffer)
+    : Component(eq, "transfer-channels"),
+      _port(*this, "wire", capacity, buffer)
 {
 }
 
@@ -15,13 +17,7 @@ TransferChannels::transfer(Tick hold, Tick busy,
                            std::function<void()> on_done)
 {
     _busy += busy;
-    ++_transfers;
-    _channels.acquire([this, hold, on_done = std::move(on_done)]() {
-        _eq.scheduleAfter(hold, [this, on_done = std::move(on_done)]() {
-            _channels.release();
-            on_done();
-        });
-    });
+    _port.submit(hold, std::move(on_done));
 }
 
 double

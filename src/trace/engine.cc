@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "net/transfer.hh"
+#include "sim/banked_memory.hh"
 #include "sim/event_queue.hh"
 #include "sim/transfer_channels.hh"
 
@@ -57,6 +58,15 @@ runTrace(const api::Workload &workload, const TraceConfig &config,
 
     sim::EventQueue eq;
     sim::TransferChannels channels(eq, config.transfers);
+    sim::BankedMemoryConfig mem_config;
+    mem_config.banks = config.mem_banks;
+    mem_config.ports = config.mem_ports;
+    mem_config.buffer = config.mem_buffer;
+    // The bank holds the line for the transfer latency before the
+    // wire takes over (never zero: the component charges real time).
+    mem_config.cycles_per_request = std::max<Tick>(1, per_transfer);
+    mem_config.cycles_per_line = config.cycles_per_line;
+    sim::BankedMemory memory(eq, "l2-memory", mem_config);
     cache::CacheState cache(config.capacity, workload.cacheable);
     sched::IncrementalScheduler scheduler(program, dag, config.latency,
                                           config.blocks);
@@ -65,6 +75,7 @@ runTrace(const api::Workload &workload, const TraceConfig &config,
     std::vector<Tick> duration(m, 0);
     // Transfers still outstanding before a claimed gate may compute.
     std::vector<std::uint32_t> waiting(m, 0);
+    std::uint64_t writebacks = 0;
 
     std::function<void()> pump;
 
@@ -82,25 +93,38 @@ runTrace(const api::Workload &workload, const TraceConfig &config,
         while (const auto claimed = scheduler.claim()) {
             const auto &inst = program[claimed->index];
             // Residency first: the missing set is what this issue
-            // pulls through the transfer network. access() then
-            // counts hits/misses and brings the missing qubits in, so
-            // a later gate touching an in-flight qubit hits (the
-            // fetch is already on the wire — MSHR-style merging).
+            // pulls through the memory banks and the transfer
+            // network. access() then counts hits/misses and brings
+            // the missing qubits in, so a later gate touching an
+            // in-flight qubit hits (the fetch is already on the wire
+            // — MSHR-style merging).
             const auto missing = cache.missingOperands(inst);
-            cache.access(inst);
+            const auto evicted = cache.access(inst);
+            // Evicted qubits write back through their owning bank:
+            // fire-and-forget traffic that still occupies bank time
+            // and competes with fills for ports and buffer slots.
+            for (const auto victim : evicted) {
+                ++writebacks;
+                memory.request(victim.value(), 1, {});
+            }
             if (missing.empty()) {
                 begin_compute(*claimed);
                 continue;
             }
             waiting[claimed->index] =
                 static_cast<std::uint32_t>(missing.size());
-            for (std::size_t t = 0; t < missing.size(); ++t) {
-                channels.transfer(
-                    per_transfer, per_transfer,
-                    [&, claimed = *claimed]() {
-                        if (--waiting[claimed.index] == 0)
-                            begin_compute(claimed);
-                    });
+            for (const auto qubit : missing) {
+                // Fill: the owning bank serves the line, then the
+                // wire carries it to level 1.
+                memory.request(qubit.value(), 1,
+                               [&, claimed = *claimed]() {
+                    channels.transfer(
+                        per_transfer, per_transfer,
+                        [&, claimed]() {
+                            if (--waiting[claimed.index] == 0)
+                                begin_compute(claimed);
+                        });
+                });
             }
         }
     };
@@ -129,6 +153,15 @@ runTrace(const api::Workload &workload, const TraceConfig &config,
                           : 0.0;
 
     result.transfer_utilization = channels.utilization(makespan);
+
+    result.mem_requests = memory.requests();
+    result.writebacks = writebacks;
+    result.bank_conflicts = memory.bankConflicts();
+    result.mem_stall_ticks = memory.stallTicks();
+    result.mem_peak_queue = memory.peakQueue();
+    result.mem_mean_queue = memory.meanQueue(makespan);
+    result.mem_utilization = memory.utilization(makespan);
+
     result.blocks_used = scheduler.blocksUsed();
 
     Tick busy = 0;

@@ -13,10 +13,14 @@
  *    compute blocks;
  *  - every issued instruction's cacheable operands are looked up in
  *    the level-1 qubit cache (cache::CacheState, LRU); hits proceed,
- *    misses pull the qubit from level-2 memory through the counted
+ *    misses are served by the banked level-2 memory
+ *    (sim::BankedMemory — the qubit hashes to a bank, bounded
+ *    per-bank buffers, a shared port issue-width, deterministic FIFO
+ *    arbitration) and then pull the qubit through the counted
  *    code-transfer channels (sim::TransferChannels — the same
  *    resource the abstract model charges) at the Table-3 transfer
- *    latency of the configured code;
+ *    latency of the configured code. Qubits evicted by a fill write
+ *    back through the same banks as fire-and-forget traffic;
  *  - once all operands are resident the gate computes for its
  *    gate-step latency at the level-1 step time, then releases its
  *    block and readies its dependents.
@@ -39,6 +43,7 @@
 #include <cstdint>
 
 #include "api/workload.hh"
+#include "common/units.hh"
 #include "ecc/code.hh"
 #include "iontrap/params.hh"
 #include "sched/latency.hh"
@@ -57,6 +62,14 @@ struct TraceConfig
     unsigned transfers = 10;
     /** Level-1 cache capacity in logical qubits. */
     std::size_t capacity = 64;
+    /** Level-2 memory banks (a qubit's fill hashes to id % banks). */
+    unsigned mem_banks = 8;
+    /** Concurrent memory requests in service across all banks. */
+    unsigned mem_ports = 4;
+    /** Bounded request-buffer depth per bank (backpressure beyond). */
+    std::size_t mem_buffer = 8;
+    /** Extra bank service ticks per line transferred. */
+    Tick cycles_per_line = 0;
     /** Per-gate-kind latencies in gate-steps. */
     sched::LatencyModel latency{};
 };
@@ -81,6 +94,18 @@ struct TraceResult
 
     // Transfer network (one transfer per miss).
     double transfer_utilization = 0.0;
+
+    // Banked level-2 memory (fills + writebacks; engine.cc header
+    // comment explains the fill path).
+    std::uint64_t mem_requests = 0;   ///< bank requests submitted
+    std::uint64_t writebacks = 0;     ///< eviction writebacks among them
+    /** Requests whose bank-service start was delayed by contention.
+     * Structurally zero on an uncontended run. */
+    std::uint64_t bank_conflicts = 0;
+    Tick mem_stall_ticks = 0;         ///< total bank-queue waiting time
+    std::size_t mem_peak_queue = 0;   ///< deepest single-bank queue
+    double mem_mean_queue = 0.0;      ///< time-weighted mean queued
+    double mem_utilization = 0.0;     ///< busy fraction of bank capacity
 
     // Compute blocks.
     unsigned blocks_used = 0;

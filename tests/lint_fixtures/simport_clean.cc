@@ -1,0 +1,26 @@
+// Fixture: the port-deque arbitration pattern done right — a bounded
+// FIFO deque of requests plus an ordered completion-time multimap.
+// Strict src/sim/ policy: nothing here touches hash order.
+#include <cstdint>
+#include <deque>
+#include <map>
+
+int
+fixturePortDeque()
+{
+    std::deque<int> buffer;
+    std::multimap<std::uint64_t, int> in_flight;
+    buffer.push_back(1);
+    in_flight.emplace(7, 2);
+    int total = 0;
+    for (const auto &kv : in_flight)
+        total += kv.second;
+    auto first = in_flight.begin();
+    if (first != in_flight.end())
+        total += first->second;
+    while (!buffer.empty()) {
+        total += buffer.front();
+        buffer.pop_front();
+    }
+    return total;
+}

@@ -1,0 +1,20 @@
+// Fixture: the port-deque arbitration pattern done wrong — waiters
+// keyed by hash. The range-for is a finding in any domain; the
+// iterator extraction is a finding only under the strict src/sim/
+// policy, where grant order must never come from hash layout.
+#include <cstdint>
+#include <unordered_map>
+
+int
+fixtureHashOrderArbitration()
+{
+    std::unordered_map<std::uint64_t, int> waiters;
+    waiters[3] = 1;
+    int granted = 0;
+    auto next = waiters.begin();
+    if (next != waiters.end())
+        granted += next->second;
+    for (const auto &kv : waiters)
+        granted += kv.second;
+    return granted;
+}

@@ -158,6 +158,34 @@ TEST(LintOrderedIteration, MemberDeclaredInCompanionHeaderIsCaught)
     EXPECT_TRUE(header.clean()) << header.diagnostics[0].format();
 }
 
+TEST(LintOrderedIterationStrict, PortDequePatternIsCleanInSimDomain)
+{
+    // The sanctioned arbitration shape — FIFO deque + ordered
+    // completion multimap — survives the strict src/sim/ policy,
+    // iterator extraction from the ordered map included.
+    const auto report = lintText("src/sim/simport_clean.cc",
+                                 fixtureText("simport_clean.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintOrderedIterationStrict, IteratorExtractionFlaggedOnlyInSim)
+{
+    const auto text = fixtureText("simport_violating.cc");
+
+    // Strict domain: both the begin() extraction and the range-for.
+    const auto sim = lintText("src/sim/simport_violating.cc", text);
+    const Findings expect_strict = {{14, "ordered-iteration"},
+                                    {17, "ordered-iteration"}};
+    EXPECT_EQ(findings(sim), expect_strict);
+
+    // Everywhere else only the range-for is a finding: lookup-style
+    // iterator use outside arbitration code stays sanctioned.
+    const auto engine =
+        lintText("src/trace/simport_violating.cc", text);
+    const Findings expect_lax = {{17, "ordered-iteration"}};
+    EXPECT_EQ(findings(engine), expect_lax);
+}
+
 TEST(LintTypedErrors, FiresOnlyInsideTheApiDomain)
 {
     const auto text = fixtureText("typed_errors.cc");

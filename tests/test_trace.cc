@@ -338,6 +338,204 @@ TEST(TraceErrors, UnknownExperimentKindListsKindsAndSuggests)
         << wild.errors.front();
 }
 
+TEST(TraceMemory, ConflictColumnIsZeroWithoutContention)
+{
+    // Structural zero, not luck: capacity >= qubit count means no
+    // evictions (no writebacks), one bank per qubit means no two
+    // concurrent fills share a bank, and ports cover every bank. The
+    // conflict-stall column must be exactly zero on such a run.
+    const auto workload = draperWorkload(16);
+    const auto qubits = static_cast<unsigned>(
+        workload.program.qubitCount());
+    TraceConfig config;
+    config.blocks = 8;
+    config.transfers = 8;
+    config.capacity = qubits;
+    config.mem_banks = qubits;
+    config.mem_ports = qubits;
+    const auto result =
+        runTrace(workload, config, iontrap::Params::future());
+    EXPECT_GT(result.mem_requests, 0u);
+    EXPECT_EQ(result.writebacks, 0u);
+    EXPECT_EQ(result.bank_conflicts, 0u);
+    EXPECT_EQ(result.mem_stall_ticks, 0u);
+    EXPECT_EQ(result.mem_peak_queue, 0u);
+}
+
+TEST(TraceMemory, BankContentionSlowsTheRunAndIsCounted)
+{
+    // The acceptance pin for the banked path: the same workload under
+    // a one-bank one-port memory runs measurably longer than under a
+    // wide one, and the gap is visible in the conflict counters.
+    const auto workload = draperWorkload(64);
+    TraceConfig starved;
+    starved.blocks = 16;
+    starved.transfers = 8;
+    starved.capacity = 16;  // small cache: misses and writebacks
+    starved.mem_banks = 1;
+    starved.mem_ports = 1;
+    TraceConfig banked = starved;
+    banked.mem_banks = 64;
+    banked.mem_ports = 32;
+    const auto params = iontrap::Params::future();
+    const auto slow = runTrace(workload, starved, params);
+    const auto fast = runTrace(workload, banked, params);
+
+    EXPECT_LT(fast.makespan_s, slow.makespan_s);
+    EXPECT_GT(slow.bank_conflicts, 0u);
+    EXPECT_GT(slow.mem_stall_ticks, 0u);
+    EXPECT_GT(slow.mem_peak_queue, 0u);
+    EXPECT_GT(slow.writebacks, 0u);
+    EXPECT_GT(slow.mem_requests, slow.writebacks);
+    EXPECT_LT(fast.bank_conflicts, slow.bank_conflicts);
+}
+
+TEST(TraceMemoryApi, MemoryKnobsAndColumnsFlowThroughTheSpec)
+{
+    // One spec string drives every surface: the mem_* knobs must
+    // reach the engine and the contention columns must round-trip the
+    // engine's numbers untouched.
+    const auto parsed = api::parseSpec(
+        "experiment=trace workload=draper n=64 blocks=16 transfers=8 "
+        "capacity=16 mem_banks=1 mem_ports=1");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.spec.mem_banks, 1u);
+    EXPECT_EQ(parsed.spec.mem_ports, 1u);
+    const auto table =
+        api::runSpecSweep({parsed.spec}, {.threads = 1});
+
+    TraceConfig config;
+    config.blocks = 16;
+    config.transfers = 8;
+    config.capacity = 16;
+    config.mem_banks = 1;
+    config.mem_ports = 1;
+    const auto direct = runTrace(draperWorkload(64), config,
+                                 iontrap::Params::future());
+
+    const auto banks = table.findColumn("mem_banks");
+    const auto conflicts = table.findColumn("bank_conflicts");
+    const auto stalls = table.findColumn("mem_stall_ticks");
+    const auto writebacks = table.findColumn("writebacks");
+    const auto mean_queue = table.findColumn("mem_mean_queue");
+    ASSERT_TRUE(banks && conflicts && stalls && writebacks &&
+                mean_queue);
+    EXPECT_EQ(table.cell(0, *banks).toString(), "1");
+    EXPECT_EQ(table.cell(0, *conflicts).toString(),
+              std::to_string(direct.bank_conflicts));
+    EXPECT_EQ(table.cell(0, *stalls).toString(),
+              std::to_string(direct.mem_stall_ticks));
+    EXPECT_EQ(table.cell(0, *writebacks).toString(),
+              std::to_string(direct.writebacks));
+    EXPECT_EQ(table.cell(0, *mean_queue).asNumber().value(),
+              direct.mem_mean_queue);
+    EXPECT_GT(direct.bank_conflicts, 0u);
+    // The canonical spec cell reparses to the same knob values.
+    const auto reparsed = api::parseSpec(
+        table.cell(0, 0).toString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed.spec.mem_banks, 1u);
+    EXPECT_EQ(reparsed.spec.mem_ports, 1u);
+}
+
+TEST(TraceMemoryApi, ValidateCatchesBadMemoryKnobs)
+{
+    // A C++-built spec can hold zeros the parser would reject; the
+    // facade must turn them into typed diagnostics, not engine
+    // fatals, for both experiments that own a banked memory.
+    for (const char *kind : {"trace", "hierarchy"}) {
+        auto spec = api::parseSpec(std::string("experiment=") + kind)
+                        .spec;
+        spec.mem_banks = 0;
+        EXPECT_FALSE(api::makeExperiment(spec)->validate().empty())
+            << kind;
+        spec = api::parseSpec(std::string("experiment=") + kind).spec;
+        spec.mem_ports = 0;
+        EXPECT_FALSE(api::makeExperiment(spec)->validate().empty())
+            << kind;
+        spec = api::parseSpec(std::string("experiment=") + kind).spec;
+        spec.mem_buffer = 0;
+        EXPECT_FALSE(api::makeExperiment(spec)->validate().empty())
+            << kind;
+    }
+}
+
+TEST(TraceSweep, MemoryAxesAreBitIdenticalAcrossThreadCounts)
+{
+    // The mem knobs join the determinism contract: sweeping them over
+    // a seed-sensitive workload must stay bit-identical however many
+    // threads run the grid.
+    api::SpecGrid grid;
+    grid.base = api::parseSpec(
+                    "experiment=trace workload=random n=24 gates=300 "
+                    "blocks=8 capacity=12")
+                    .spec;
+    grid.axis("mem_banks", {"1", "8"});
+    grid.axis("mem_ports", {"1", "4"});
+    grid.axis("cycles_per_line", {"0", "3"});
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 8u);
+    const auto serial =
+        api::runSpecSweep(specs, {.threads = 1, .base_seed = 17});
+    for (const unsigned threads : {2u, 8u}) {
+        const auto parallel = api::runSpecSweep(
+            specs, {.threads = threads, .base_seed = 17});
+        EXPECT_EQ(csvOf(serial), csvOf(parallel))
+            << threads << " threads diverged";
+    }
+}
+
+TEST(KindSweep, EveryExperimentKindIsBitIdenticalAcrossThreads)
+{
+    // The 1-vs-N contract holds for all five experiment kinds, not
+    // just trace: each kind's small grid renders the same CSV from a
+    // serial and a parallel run.
+    const struct
+    {
+        const char *base;
+        const char *axis;
+    } kinds[] = {
+        {"experiment=hierarchy n=64 adders=8 mem_banks=2 mem_ports=1",
+         "blocks=4,9"},
+        {"experiment=cache workload=random n=24 gates=300",
+         "capacity=8,16"},
+        {"experiment=bandwidth", "blocks=16,36"},
+        {"experiment=montecarlo trials=500", "p0=0.001,0.01"},
+        {"experiment=trace workload=random n=24 gates=300 blocks=8 "
+         "capacity=12 mem_banks=1 mem_ports=1",
+         "transfers=1,4"},
+    };
+    for (const auto &kind : kinds) {
+        api::SpecGrid grid;
+        grid.base = api::parseSpec(kind.base).spec;
+        ASSERT_EQ(grid.addAxis(kind.axis), "") << kind.base;
+        const auto specs = grid.expand();
+        const auto serial = api::runSpecSweep(
+            specs, {.threads = 1, .base_seed = 11});
+        const auto wide = api::runSpecSweep(
+            specs, {.threads = 4, .base_seed = 11});
+        EXPECT_EQ(csvOf(serial), csvOf(wide)) << kind.base;
+    }
+}
+
+TEST(TraceErrors, UnknownMemKnobSuggestsTheNearestKey)
+{
+    // Satellite of the banked-memory PR: a typo'd memory knob gets
+    // the shared did-you-mean diagnostic, same as every other name
+    // vocabulary in the api.
+    const auto parsed = api::parseSpec("experiment=trace mem_bank=4");
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    const auto &message = parsed.errors.front();
+    EXPECT_NE(message.find("unknown spec key 'mem_bank'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("mem_banks"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean 'mem_banks'?"),
+              std::string::npos)
+        << message;
+}
+
 TEST(TraceEngineDeath, MalformedConfigPanics)
 {
     const auto workload = draperWorkload(16);

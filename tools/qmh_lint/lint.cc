@@ -62,6 +62,12 @@ struct Policy
     bool no_wallclock = true;
     bool no_raw_rand = true;
     bool ordered_iteration = true;
+    /** Strict mode: besides range-fors, flag iterator extraction
+     * (.begin()/cbegin() and friends) from unordered containers.
+     * On in src/sim/, where component arbitration decides grant
+     * order — hash order anywhere in that path breaks the
+     * bit-identical determinism contract. */
+    bool ordered_iteration_strict = false;
     bool typed_errors = false;  ///< opt-in: only the Outcome domain
     bool banned_headers = true;
 
@@ -98,6 +104,11 @@ policyFor(std::string_view path)
     // against, or document them) without tripping its own rule.
     if (path.find("src/common/random") != std::string_view::npos)
         policy.no_raw_rand = false;
+    // The component kernel (ports, token pools, banked memory) is
+    // where same-tick arbitration is decided; ordered-iteration is
+    // enforced in strict mode there.
+    if (path.find("src/sim/") != std::string_view::npos)
+        policy.ordered_iteration_strict = true;
     return policy;
 }
 
@@ -654,6 +665,7 @@ void
 ruleOrderedIteration(const std::string &file,
                      const std::vector<Token> &tokens,
                      const std::vector<std::string> &seed_names,
+                     bool strict,
                      std::vector<Diagnostic> &diagnostics)
 {
     constexpr const char *rule = "ordered-iteration";
@@ -702,6 +714,38 @@ ruleOrderedIteration(const std::string &file,
                  "so hash-map layout cannot reach the output"});
             break;
         }
+    }
+
+    if (!strict)
+        return;
+
+    // Pass C (strict domains only): iterator extraction from an
+    // unordered container. In arbitration code even a single
+    // begin()/cbegin() leaks hash order into grant order, so the
+    // range-for check alone is not enough.
+    for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+        if (!tokens[i].ident())
+            continue;
+        const bool known = std::any_of(
+            names.begin(), names.end(),
+            [&](const std::string &name) {
+                return std::string_view(name) == tokens[i].text;
+            });
+        if (!known)
+            continue;
+        if (!tokens[i + 1].is(".") && !tokens[i + 1].is("->"))
+            continue;
+        if (!inSet(tokens[i + 2].text,
+                   {"begin", "cbegin", "rbegin", "crbegin"}) ||
+            !tokens[i + 3].is("("))
+            continue;
+        diagnostics.push_back(
+            {file, tokens[i].line, rule,
+             "iterator into the unordered container '" +
+                 std::string(tokens[i].text) +
+                 "' in an arbitration domain",
+             "strict domain (src/sim/): grant order must come from a "
+             "FIFO deque or an ordered map, never from hash layout"});
     }
 }
 
@@ -865,7 +909,8 @@ lintTextSeeded(std::string_view policy_path, std::string_view text,
     if (policy.enabled("no-raw-rand"))
         ruleNoRawRand(file, tokens, raw);
     if (policy.enabled("ordered-iteration"))
-        ruleOrderedIteration(file, tokens, header_names, raw);
+        ruleOrderedIteration(file, tokens, header_names,
+                             policy.ordered_iteration_strict, raw);
     if (policy.enabled("typed-errors"))
         ruleTypedErrors(file, tokens, raw);
     if (policy.enabled("banned-headers"))
