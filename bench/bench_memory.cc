@@ -7,6 +7,7 @@
 
 #include "api/experiment.hh"
 #include "api/grid.hh"
+#include "api/workload.hh"
 #include "bench_util.hh"
 #include "sim/banked_memory.hh"
 #include "sim/event_queue.hh"

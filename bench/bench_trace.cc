@@ -6,6 +6,7 @@
 
 #include "api/experiment.hh"
 #include "api/grid.hh"
+#include "api/workload.hh"
 #include "bench_util.hh"
 #include "sweep/sweep.hh"
 #include "trace/engine.hh"

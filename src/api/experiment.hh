@@ -87,7 +87,7 @@ std::optional<Error> checkExperimentBatch(
  * Session::submit, runSpecSweep and the opt:: cached/adaptive
  * runners so their notion of "runnable batch" cannot drift apart.
  */
-Outcome<std::vector<std::unique_ptr<Experiment>>>
+[[nodiscard]] Outcome<std::vector<std::unique_ptr<Experiment>>>
 validateExperiments(const std::vector<ExperimentSpec> &specs);
 
 /**

@@ -77,9 +77,14 @@ struct Error
  * Either a T or an Error. value()/error() panic when the alternative
  * is not held — check ok() first; accessing the wrong side is a
  * caller bug, not a recoverable condition.
+ *
+ * The class is [[nodiscard]]: silently dropping an Outcome drops the
+ * failure with it, so the compiler flags every bare-statement call of
+ * an Outcome-returning function (qmh_lint's unchecked-outcome rule is
+ * the tree-wide twin of this attribute).
  */
 template <typename T>
-class Outcome
+class [[nodiscard]] Outcome
 {
   public:
     Outcome(T value) : _state(std::in_place_index<0>, std::move(value))

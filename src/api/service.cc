@@ -6,8 +6,8 @@
 #include <sstream>
 
 #include "common/json.hh"
-#include "opt/result_cache.hh"
 #include "sweep/emit.hh"
+#include "sweep/sweep.hh"
 
 namespace qmh {
 namespace api {
@@ -105,7 +105,10 @@ requestSeeds(const ServiceRequest &request, std::uint64_t session_base)
     std::vector<std::uint64_t> seeds;
     seeds.reserve(request.specs.size());
     for (const auto &spec : request.specs)
-        seeds.push_back(opt::specSeed(base, printSpec(spec)));
+        // sweep::keySeed over the canonical spec string — the same
+        // derivation opt::specSeed forwards to, so service rows stay
+        // interchangeable with optimizer cache entries.
+        seeds.push_back(sweep::keySeed(base, printSpec(spec)));
     return seeds;
 }
 

@@ -100,11 +100,13 @@ struct ServiceRequest
  * (one detail per diagnostic) for specs that fail to parse. Spec
  * *validation* (ranges, workload existence) happens at submit time.
  */
-Outcome<ServiceRequest> parseServiceRequest(const std::string &line);
+[[nodiscard]] Outcome<ServiceRequest>
+parseServiceRequest(const std::string &line);
 
 /** parseServiceRequest over an already-parsed JSON document (the
  *  serve loop parses each line exactly once this way). */
-Outcome<ServiceRequest> decodeServiceRequest(const json::Value &root);
+[[nodiscard]] Outcome<ServiceRequest>
+decodeServiceRequest(const json::Value &root);
 
 /** Statistics of one runService loop. */
 struct ServiceStats

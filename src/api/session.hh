@@ -181,8 +181,9 @@ class Session
      * spec), MixedKinds, BadSeeds. An empty spec list is a valid job
      * that is already finished. Never panics on bad input.
      */
-    Outcome<JobHandle> submit(const std::vector<ExperimentSpec> &specs,
-                              SubmitOptions options = {});
+    [[nodiscard]] Outcome<JobHandle>
+    submit(const std::vector<ExperimentSpec> &specs,
+           SubmitOptions options = {});
 
     /**
      * Same contract over pre-built experiments (custom Experiment
@@ -190,7 +191,7 @@ class Session
      * column schema; a run() that throws or returns the wrong row
      * width retires the job with an ExecutionFailed failure.
      */
-    Outcome<JobHandle>
+    [[nodiscard]] Outcome<JobHandle>
     submit(std::vector<std::unique_ptr<Experiment>> experiments,
            SubmitOptions options = {});
 

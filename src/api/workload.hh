@@ -17,21 +17,18 @@
 #include <vector>
 
 #include "api/spec.hh"
-#include "circuit/program.hh"
+#include "circuit/workload.hh"
 #include "common/random.hh"
 
 namespace qmh {
 namespace api {
 
-/** A generated workload with its architectural metadata. */
-struct Workload
-{
-    circuit::Program program;
-    /** Per-qubit cacheable mask; empty = every qubit is cacheable. */
-    std::vector<bool> cacheable;
-    /** Processing-element qubit count (auto cache sizing). */
-    unsigned pe_qubits = 0;
-};
+/**
+ * A generated workload with its architectural metadata. The struct
+ * itself lives at the circuit layer (circuit/workload.hh) so engines
+ * below the facade can consume one without depending upward on api.
+ */
+using Workload = circuit::Workload;
 
 /** One named generator. */
 struct WorkloadGenerator

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A circuit plus the architectural metadata the engines need to
+ * interpret it.
+ *
+ * The struct lives at the circuit layer (not in qmh::api, which
+ * *builds* workloads from registered generators) so engines below the
+ * facade — the trace pipeline in particular — can consume a workload
+ * without an upward dependency on the api module. The facade re-exports
+ * it as api::Workload.
+ */
+
+#ifndef QMH_CIRCUIT_WORKLOAD_HH
+#define QMH_CIRCUIT_WORKLOAD_HH
+
+#include <vector>
+
+#include "circuit/program.hh"
+
+namespace qmh {
+namespace circuit {
+
+/** A generated workload with its architectural metadata. */
+struct Workload
+{
+    circuit::Program program;
+    /** Per-qubit cacheable mask; empty = every qubit is cacheable. */
+    std::vector<bool> cacheable;
+    /** Processing-element qubit count (auto cache sizing). */
+    unsigned pe_qubits = 0;
+};
+
+} // namespace circuit
+} // namespace qmh
+
+#endif // QMH_CIRCUIT_WORKLOAD_HH

@@ -13,18 +13,6 @@ namespace {
 
 constexpr int format_version = 1;
 
-/** FNV-1a 64-bit over the canonical spec string. */
-std::uint64_t
-fnv1a(std::string_view text)
-{
-    std::uint64_t hash = 0xCBF29CE484222325ULL;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001B3ULL;
-    }
-    return hash;
-}
-
 /**
  * Minimal scanner over one JSONL line. The cache only ever reads
  * files it wrote, so the grammar is exactly the writer's output
@@ -183,7 +171,9 @@ parseEntry(std::string_view line, std::string &spec_key,
 std::uint64_t
 specSeed(std::uint64_t base_seed, std::string_view canonical_spec)
 {
-    return sweep::pointSeed(base_seed, fnv1a(canonical_spec));
+    // Forwarder kept as the documented spec-addressed name; the FNV
+    // fold itself lives with the other seeding primitives in sweep.
+    return sweep::keySeed(base_seed, canonical_spec);
 }
 
 std::string

@@ -75,7 +75,7 @@ class Server
      * refused bind, an unparseable host, an unopenable cache file or
      * a failed self-pipe; never a panic for environment problems.
      */
-    static api::Outcome<std::unique_ptr<Server>>
+    [[nodiscard]] static api::Outcome<std::unique_ptr<Server>>
     create(ServerConfig config);
 
     ~Server();

@@ -102,9 +102,9 @@ IoResult sendSome(int fd, const char *data, std::size_t size);
 class Listener
 {
   public:
-    static api::Outcome<Listener> create(const std::string &host,
-                                         std::uint16_t port,
-                                         int backlog = 64);
+    [[nodiscard]] static api::Outcome<Listener>
+    create(const std::string &host, std::uint16_t port,
+           int backlog = 64);
 
     int fd() const { return _fd.get(); }
     std::uint16_t boundPort() const { return _port; }
@@ -126,8 +126,8 @@ class Listener
  * call this). The returned socket stays blocking — Client does
  * lockstep request/response IO.
  */
-api::Outcome<Fd> connectTcp(const std::string &host,
-                            std::uint16_t port);
+[[nodiscard]] api::Outcome<Fd> connectTcp(const std::string &host,
+                                          std::uint16_t port);
 
 } // namespace server
 } // namespace qmh

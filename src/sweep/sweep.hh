@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -47,6 +48,16 @@ struct SweepOptions
  * scheduling.
  */
 std::uint64_t pointSeed(std::uint64_t base_seed, std::size_t index);
+
+/**
+ * Deterministic seed for a string-keyed point: FNV-1a 64 of @p key
+ * folded through pointSeed(). This is the seeding scheme of every
+ * string-addressed surface (opt::specSeed over canonical spec
+ * strings, the service's seed_mode="spec", the shared server cache):
+ * a row is a function of (base seed, key) alone, independent of
+ * request order, batching or thread count.
+ */
+std::uint64_t keySeed(std::uint64_t base_seed, std::string_view key);
 
 /** Fans grid points across a worker pool; results land by index. */
 class SweepRunner

@@ -16,7 +16,7 @@ namespace qmh {
 namespace trace {
 
 TraceResult
-runTrace(const api::Workload &workload, const TraceConfig &config,
+runTrace(const circuit::Workload &workload, const TraceConfig &config,
          const iontrap::Params &params)
 {
     const auto &program = workload.program;

@@ -42,7 +42,7 @@
 
 #include <cstdint>
 
-#include "api/workload.hh"
+#include "circuit/workload.hh"
 #include "common/units.hh"
 #include "ecc/code.hh"
 #include "iontrap/params.hh"
@@ -129,7 +129,7 @@ struct TraceResult
  * or channels); validate specs at the api layer for recoverable
  * diagnostics.
  */
-TraceResult runTrace(const api::Workload &workload,
+TraceResult runTrace(const circuit::Workload &workload,
                      const TraceConfig &config,
                      const iontrap::Params &params);
 

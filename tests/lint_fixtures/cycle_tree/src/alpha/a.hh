@@ -1,0 +1,5 @@
+// Half of a peer-module include cycle.
+#ifndef FIXTURE_ALPHA_A_HH
+#define FIXTURE_ALPHA_A_HH
+#include "beta/b.hh"
+#endif

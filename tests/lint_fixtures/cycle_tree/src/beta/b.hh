@@ -1,0 +1,5 @@
+// The other half of the peer-module include cycle.
+#ifndef FIXTURE_BETA_B_HH
+#define FIXTURE_BETA_B_HH
+#include "alpha/a.hh"
+#endif

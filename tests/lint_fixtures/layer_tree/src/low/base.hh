@@ -1,0 +1,5 @@
+// Bottom tier: includes nothing.
+#ifndef FIXTURE_LOW_BASE_HH
+#define FIXTURE_LOW_BASE_HH
+namespace fixture { struct Base {}; }
+#endif

@@ -1,0 +1,5 @@
+// Upward dependency: a bottom-tier module reaching into the middle.
+#ifndef FIXTURE_LOW_UPWARD_HH
+#define FIXTURE_LOW_UPWARD_HH
+#include "mid/mid.hh"
+#endif

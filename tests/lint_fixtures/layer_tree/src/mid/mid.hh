@@ -1,0 +1,6 @@
+// Middle tier: the downward include is fine.
+#ifndef FIXTURE_MID_MID_HH
+#define FIXTURE_MID_MID_HH
+#include "low/base.hh"
+namespace fixture { struct Mid : Base {}; }
+#endif

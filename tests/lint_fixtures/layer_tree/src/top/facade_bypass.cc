@@ -1,0 +1,3 @@
+// Top tier: mid is fine; low is declared forbidden (facade bypass).
+#include "mid/mid.hh"
+#include "low/base.hh"

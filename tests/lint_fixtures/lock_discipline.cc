@@ -1,0 +1,42 @@
+// lock-discipline fixture: blocking calls while a scoped lock is
+// live. The self-tests lint this text labeled into src/server/ and
+// src/sweep/ (rule on) and into an engine domain (rule off).
+#include <mutex>
+
+namespace fixture {
+
+void
+blockingUnderLock(std::mutex &m, int fd)
+{
+    std::lock_guard<std::mutex> guard(m);
+    read(fd);
+    write(fd);
+    poll(fd);
+}
+
+void
+releasedBeforeBlocking(std::mutex &m, int fd)
+{
+    {
+        std::lock_guard<std::mutex> guard(m);
+        touch(fd);
+    }
+    read(fd);
+}
+
+void
+conditionWaitOnTheLockIsSanctioned(std::mutex &m,
+                                   std::condition_variable &cv)
+{
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock);
+}
+
+void
+foreignWaitUnderLockIsNot(std::mutex &m, std::future<int> &task)
+{
+    std::scoped_lock guard(m);
+    task.wait();
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Suppressed lock-discipline variant: a justified allowance on the
+// blocking call keeps the file clean in the concurrent domains.
+#include <mutex>
+
+namespace fixture {
+
+void
+justified(std::mutex &m, int fd)
+{
+    std::lock_guard<std::mutex> guard(m);
+    // qmh-lint: allow(lock-discipline): startup path, no concurrent clients exist yet
+    read(fd);
+}
+
+} // namespace fixture

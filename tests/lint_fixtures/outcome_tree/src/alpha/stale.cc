@@ -1,0 +1,14 @@
+// A stale tree-rule allowance must expire loudly via lintTree.
+#include "alpha/things.hh"
+
+namespace fixture {
+
+void
+nothingDiscardedHere()
+{
+    auto kept = fetchThing(7);
+    (void)kept;
+    // qmh-lint: allow(unchecked-outcome): stale marker, nothing to cover
+}
+
+} // namespace fixture

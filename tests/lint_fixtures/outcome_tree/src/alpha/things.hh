@@ -1,0 +1,10 @@
+// Outcome-returning declarations for the unchecked-outcome index.
+#ifndef FIXTURE_ALPHA_THINGS_HH
+#define FIXTURE_ALPHA_THINGS_HH
+namespace fixture {
+template <typename T> class Outcome {};
+Outcome<int> fetchThing(int key);
+Outcome<int> ambiguousThing(int key);
+int plainHelper(int key);
+}
+#endif

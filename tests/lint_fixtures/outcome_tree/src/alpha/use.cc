@@ -1,0 +1,19 @@
+// Call sites: one discarded Outcome (flagged), one bound (clean),
+// one ambiguous (skipped), one suppressed.
+#include "alpha/things.hh"
+
+namespace fixture {
+
+void
+driver()
+{
+    fetchThing(1);
+    auto kept = fetchThing(2);
+    (void)kept;
+    ambiguousThing(3);
+    plainHelper(4);
+    // qmh-lint: allow(unchecked-outcome): fixture demonstrating a justified discard
+    fetchThing(5);
+}
+
+} // namespace fixture

@@ -1,0 +1,9 @@
+// Declares ambiguousThing with a different return type: the name is
+// ambiguous tree-wide, so its call sites cannot be typed by a token
+// scan and are left to the [[nodiscard]] attribute.
+#ifndef FIXTURE_BETA_OTHER_HH
+#define FIXTURE_BETA_OTHER_HH
+namespace fixture {
+void ambiguousThing(double key);
+}
+#endif

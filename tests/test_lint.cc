@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -51,9 +52,11 @@ TEST(LintRegistry, NamesAndDescriptionsCoverEveryRule)
 {
     const auto &names = ruleNames();
     const std::vector<std::string> expect = {
-        "no-wallclock",   "no-raw-rand",      "ordered-iteration",
-        "typed-errors",   "banned-headers",   "bad-suppression",
-        "unused-suppression"};
+        "no-wallclock",      "no-raw-rand",
+        "ordered-iteration", "typed-errors",
+        "banned-headers",    "lock-discipline",
+        "layering",          "unchecked-outcome",
+        "bad-suppression",   "unused-suppression"};
     EXPECT_EQ(names, expect);
     for (const auto &name : names)
         EXPECT_NE(ruleDescription(name), nullptr) << name;
@@ -253,6 +256,227 @@ TEST(LintSuppression, MalformedMarkersNeverSuppress)
         {9, "bad-suppression"},  {10, "no-wallclock"},
         {11, "bad-suppression"}, {12, "no-wallclock"}};
     EXPECT_EQ(findings(report), expect);
+}
+
+TEST(LintLockDiscipline, BlockingCallsUnderALiveLockAreFlagged)
+{
+    const auto text = fixtureText("lock_discipline.cc");
+
+    // Both concurrent domains, same findings: the three blocking
+    // calls under the guard and the foreign (non-cv) wait. The
+    // released-scope read and the cv.wait(lock) stay clean.
+    const Findings expect = {{12, "lock-discipline"},
+                             {13, "lock-discipline"},
+                             {14, "lock-discipline"},
+                             {39, "lock-discipline"}};
+    const auto server = lintText("src/server/fixture.cc", text);
+    EXPECT_EQ(findings(server), expect);
+    const auto sweep = lintText("src/sweep/fixture.cc", text);
+    EXPECT_EQ(findings(sweep), expect);
+
+    // Outside the concurrent domains the rule is off.
+    const auto engine = lintText("src/sim/fixture.cc", text);
+    EXPECT_TRUE(engine.clean()) << engine.diagnostics[0].format();
+}
+
+TEST(LintLockDiscipline, JustifiedAllowanceSuppresses)
+{
+    const auto report = lintText("src/server/fixture.cc",
+                                 fixtureText("lock_suppressed.cc"));
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+/** Layer policy used by the layer_tree fixture tests. */
+constexpr const char *kFixtureLayerPolicy =
+    "layer low\n"
+    "layer mid\n"
+    "layer top\n"
+    "forbid top: low\n";
+
+TEST(LintLayering, UpwardIncludeAndFacadeBypassAreFindings)
+{
+    TreeOptions options;
+    options.layer_policy = kFixtureLayerPolicy;
+    const auto report =
+        lintTree({fixturePath("layer_tree")}, options);
+
+    // Exactly two findings: upward.hh's upward edge and the
+    // forbidden top -> low skip. mid -> low (downward) and the
+    // allow(layering)-covered upward_allowed.hh stay clean.
+    ASSERT_EQ(report.diagnostics.size(), 2u);
+    const auto &upward = report.diagnostics[0];
+    EXPECT_NE(upward.file.find("low/upward.hh"), std::string::npos);
+    EXPECT_EQ(upward.line, 4);
+    EXPECT_EQ(upward.rule, "layering");
+    EXPECT_NE(upward.message.find("upward dependency"),
+              std::string::npos);
+    const auto &bypass = report.diagnostics[1];
+    EXPECT_NE(bypass.file.find("top/facade_bypass.cc"),
+              std::string::npos);
+    EXPECT_EQ(bypass.line, 3);
+    EXPECT_EQ(bypass.rule, "layering");
+    EXPECT_NE(bypass.message.find("facade bypass"),
+              std::string::npos);
+}
+
+TEST(LintLayering, PeerIncludeCycleIsOneFinding)
+{
+    TreeOptions options;
+    options.layer_policy = "layer alpha beta\n";
+    const auto report =
+        lintTree({fixturePath("cycle_tree")}, options);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    const auto &cycle = report.diagnostics[0];
+    EXPECT_EQ(cycle.rule, "layering");
+    EXPECT_NE(cycle.file.find("beta/b.hh"), std::string::npos);
+    EXPECT_EQ(cycle.line, 4);
+    EXPECT_NE(cycle.message.find("alpha -> beta -> alpha"),
+              std::string::npos);
+}
+
+TEST(LintLayering, PolicyParseProblemsAreFindings)
+{
+    TreeOptions options;
+    options.layer_policy =
+        "layers low\n"          // unknown directive
+        "layer low low\n"       // duplicate module
+        "forbid ghost: low\n";  // undeclared module
+    const auto report =
+        lintTree({fixturePath("layer_tree")}, options);
+    const Findings expect = {
+        {1, "layering"}, {2, "layering"}, {3, "layering"}};
+    EXPECT_EQ(findings(report), expect);
+    for (const auto &diagnostic : report.diagnostics)
+        EXPECT_EQ(diagnostic.file, "<layer-policy>");
+}
+
+TEST(LintLayering, DefaultPolicySkipsUndeclaredModules)
+{
+    // Under the built-in policy the fixture modules (alpha, beta)
+    // are not declared, so even a blatant cycle is out of scope:
+    // the policy governs the src/ tree, not arbitrary code.
+    const auto report = lintTree({fixturePath("cycle_tree")});
+    EXPECT_TRUE(report.clean()) << report.diagnostics[0].format();
+}
+
+TEST(LintUncheckedOutcome, DiscardFlaggedAmbiguousAndBoundSkipped)
+{
+    const auto report = lintTree({fixturePath("outcome_tree")});
+
+    // use.cc:10 discards fetchThing's Outcome. The bound call, the
+    // ambiguous name (void overload in beta/other.hh) and the plain
+    // helper stay clean; use.cc:16 is covered by its allow(); the
+    // stale marker in stale.cc expires as unused-suppression.
+    ASSERT_EQ(report.diagnostics.size(), 2u);
+    const auto &stale = report.diagnostics[0];
+    EXPECT_NE(stale.file.find("alpha/stale.cc"), std::string::npos);
+    EXPECT_EQ(stale.line, 11);
+    EXPECT_EQ(stale.rule, "unused-suppression");
+    const auto &discard = report.diagnostics[1];
+    EXPECT_NE(discard.file.find("alpha/use.cc"), std::string::npos);
+    EXPECT_EQ(discard.line, 10);
+    EXPECT_EQ(discard.rule, "unchecked-outcome");
+    EXPECT_NE(discard.message.find("fetchThing"), std::string::npos);
+}
+
+namespace {
+
+std::string
+renderReport(const Report &report)
+{
+    std::string out;
+    for (const auto &diagnostic : report.diagnostics) {
+        out += diagnostic.format();
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<std::string>
+realTreeRoots()
+{
+    return {QMH_LINT_SOURCE_DIR "/src", QMH_LINT_SOURCE_DIR "/bench",
+            QMH_LINT_SOURCE_DIR "/examples",
+            QMH_LINT_SOURCE_DIR "/tests"};
+}
+
+} // namespace
+
+TEST(LintTreeEngine, ReportIsByteIdenticalAcrossThreadCounts)
+{
+    // The sweep determinism contract applied to the linter itself:
+    // 1 worker and 8 workers must produce identical reports, down to
+    // the SARIF bytes.
+    TreeOptions one;
+    one.threads = 1;
+    TreeOptions eight;
+    eight.threads = 8;
+    const auto serial = lintTree(realTreeRoots(), one);
+    const auto parallel = lintTree(realTreeRoots(), eight);
+    EXPECT_EQ(serial.files_scanned, parallel.files_scanned);
+    EXPECT_EQ(renderReport(serial), renderReport(parallel));
+    EXPECT_EQ(toSarif(serial), toSarif(parallel));
+}
+
+TEST(LintTreeEngine, WarmCacheParsesZeroFilesAndMatchesCold)
+{
+    const std::string cache_path =
+        ::testing::TempDir() + "qmh_lint_facts_cache.jsonl";
+    std::remove(cache_path.c_str());
+
+    TreeOptions options;
+    options.cache_path = cache_path;
+    const auto cold = lintTree(realTreeRoots(), options);
+    EXPECT_EQ(cold.files_cached, 0u);
+    EXPECT_EQ(cold.files_parsed, cold.files_scanned);
+
+    // Second run over the unchanged tree: every file served from the
+    // facts cache, zero parsed, identical report.
+    const auto warm = lintTree(realTreeRoots(), options);
+    EXPECT_EQ(warm.files_parsed, 0u);
+    EXPECT_EQ(warm.files_cached, warm.files_scanned);
+    EXPECT_EQ(warm.files_scanned, cold.files_scanned);
+    EXPECT_EQ(renderReport(cold), renderReport(warm));
+    std::remove(cache_path.c_str());
+}
+
+TEST(LintTreeEngine, CorruptCacheIsIgnoredNotTrusted)
+{
+    const std::string cache_path =
+        ::testing::TempDir() + "qmh_lint_corrupt_cache.jsonl";
+    {
+        std::ofstream out(cache_path, std::ios::trunc);
+        out << "{\"format\":\"qmh-lint-facts-v1\"}\n"
+            << "this is not json\n"
+            << "{\"path\":\"x\"}\n";
+    }
+    TreeOptions options;
+    options.cache_path = cache_path;
+    const auto report =
+        lintTree({fixturePath("cycle_tree")}, options);
+    // Unusable entries are cache misses, not failures.
+    EXPECT_EQ(report.files_cached, 0u);
+    EXPECT_EQ(report.files_parsed, report.files_scanned);
+    std::remove(cache_path.c_str());
+}
+
+TEST(LintSarif, CarriesRuleMetadataAndFindings)
+{
+    TreeOptions options;
+    options.layer_policy = kFixtureLayerPolicy;
+    const auto report =
+        lintTree({fixturePath("layer_tree")}, options);
+    const auto sarif = toSarif(report);
+    EXPECT_NE(sarif.find("\"version\":\"2.1.0\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"id\":\"layering\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\":\"layering\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("facade bypass"), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\":4"), std::string::npos);
+    // Clean reports still carry the tool metadata.
+    const auto clean = toSarif(Report{});
+    EXPECT_NE(clean.find("\"results\":[]"), std::string::npos);
 }
 
 TEST(LintTree, SingleFileRootIsScanned)

@@ -10,6 +10,7 @@
 #include "api/grid.hh"
 #include "api/service.hh"
 #include "api/session.hh"
+#include "api/workload.hh"
 #include "circuit/text_format.hh"
 #include "opt/cached_sweep.hh"
 #include "trace/engine.hh"

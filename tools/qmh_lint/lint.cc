@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "qmh_lint/internal.hh"
 
 namespace qmh {
 namespace lint {
@@ -21,8 +24,9 @@ struct RuleInfo
     const char *description;
 };
 
-// The five contract rules, in documentation order. The two meta rules
-// (bad-suppression, unused-suppression) guard the suppression
+// The contract rules, in documentation order: six per-file token rules
+// followed by the two whole-tree rules (lintTree only). The two meta
+// rules (bad-suppression, unused-suppression) guard the suppression
 // mechanism itself and are always on and never suppressible.
 constexpr RuleInfo rule_infos[] = {
     {"no-wallclock",
@@ -42,6 +46,19 @@ constexpr RuleInfo rule_infos[] = {
     {"banned-headers",
      "headers that exist to break the other rules (<ctime>, <random>, "
      "<sys/time.h>) stay out of the tree"},
+    {"lock-discipline",
+     "src/server and src/sweep never block (poll/read/write/wait/"
+     "simulate/runSpecSweep/->run()) while a lock_guard/unique_lock/"
+     "scoped_lock is live; condition-variable waits ON the lock are "
+     "the sanctioned exception"},
+    {"layering",
+     "the src/ include graph respects the declared layer policy: no "
+     "upward includes, no forbidden facade-bypass edges, no include "
+     "cycles (whole-tree rule; lintTree only)"},
+    {"unchecked-outcome",
+     "a call to a function returning Outcome<...> is never discarded "
+     "as a bare statement — a dropped Outcome drops its failure "
+     "(whole-tree rule; lintTree only)"},
 };
 
 bool
@@ -51,6 +68,14 @@ isContractRule(std::string_view id)
         if (id == info.id)
             return true;
     return false;
+}
+
+/** Rules that need every file's facts; their findings (and therefore
+ * their suppressions) are resolved by the tree passes, not here. */
+bool
+isTreeRule(std::string_view id)
+{
+    return id == "layering" || id == "unchecked-outcome";
 }
 
 // ---------------------------------------------------------------------------
@@ -70,6 +95,7 @@ struct Policy
     bool ordered_iteration_strict = false;
     bool typed_errors = false;  ///< opt-in: only the Outcome domain
     bool banned_headers = true;
+    bool lock_discipline = false;  ///< opt-in: concurrent domains
 
     bool
     enabled(std::string_view rule) const
@@ -84,6 +110,8 @@ struct Policy
             return typed_errors;
         if (rule == "banned-headers")
             return banned_headers;
+        if (rule == "lock-discipline")
+            return lock_discipline;
         return true;
     }
 };
@@ -109,6 +137,12 @@ policyFor(std::string_view path)
     // enforced in strict mode there.
     if (path.find("src/sim/") != std::string_view::npos)
         policy.ordered_iteration_strict = true;
+    // The concurrent domains: the multi-client server and the worker
+    // pool. A blocking call under a held lock serializes every other
+    // client/worker, so it is a finding there.
+    if (path.find("src/server/") != std::string_view::npos ||
+        path.find("src/sweep/") != std::string_view::npos)
+        policy.lock_discipline = true;
     return policy;
 }
 
@@ -844,6 +878,301 @@ ruleBannedHeaders(const std::string &file, std::string_view raw,
     }
 }
 
+/**
+ * lock-discipline: flag blocking calls made while a scoped lock is
+ * live in an enclosing scope. Scope tracking is brace-depth based:
+ * a lock declared at depth d dies with the '}' that closes depth d.
+ * Heuristic by design — explicit .unlock() is not modeled (the tree
+ * style is scoped locking), and a lambda *defined* under a lock is
+ * treated as running under it, which for this codebase's immediate-
+ * dispatch lambdas is the safe assumption.
+ */
+void
+ruleLockDiscipline(const std::string &file,
+                   const std::vector<Token> &tokens,
+                   std::vector<Diagnostic> &diagnostics)
+{
+    constexpr const char *rule = "lock-discipline";
+    struct LiveLock
+    {
+        std::string_view name;
+        int line;
+        int depth;
+    };
+    std::vector<LiveLock> locks;
+    int depth = 0;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const auto &t = tokens[i];
+        if (t.is("{")) {
+            ++depth;
+            continue;
+        }
+        if (t.is("}")) {
+            while (!locks.empty() && locks.back().depth >= depth)
+                locks.pop_back();
+            --depth;
+            continue;
+        }
+        if (!t.ident())
+            continue;
+        if (inSet(t.text,
+                  {"lock_guard", "unique_lock", "scoped_lock"})) {
+            // Declaration shape: [std::]lock_guard[<...>] name ( | {
+            // A default-constructed unique_lock holds nothing, so the
+            // initializer is required for the lock to count as live.
+            std::size_t j = i + 1;
+            if (j < tokens.size() && tokens[j].is("<")) {
+                std::size_t tdepth = 1;
+                ++j;
+                while (j < tokens.size() && tdepth > 0) {
+                    if (tokens[j].is("<"))
+                        ++tdepth;
+                    else if (tokens[j].is(">"))
+                        --tdepth;
+                    ++j;
+                }
+            }
+            if (j + 1 < tokens.size() && tokens[j].ident() &&
+                (tokens[j + 1].is("(") || tokens[j + 1].is("{")))
+                locks.push_back(
+                    {tokens[j].text, tokens[j].line, depth});
+            continue;
+        }
+        if (locks.empty())
+            continue;
+        // The sanctioned exception: a condition-variable wait ON a
+        // live lock releases it for the duration of the block.
+        if (t.is("wait") && i + 2 < tokens.size() &&
+            tokens[i + 1].is("(")) {
+            bool on_live_lock = false;
+            for (const auto &lock : locks)
+                if (tokens[i + 2].text == lock.name)
+                    on_live_lock = true;
+            if (on_live_lock)
+                continue;
+        }
+        std::string what;
+        if (inSet(t.text, {"poll", "read", "write", "wait", "simulate",
+                           "runSpecSweep"}) &&
+            i + 1 < tokens.size() && tokens[i + 1].is("("))
+            what = std::string(t.text) + "()";
+        else if (t.is("run") && i > 0 && tokens[i - 1].is("->") &&
+                 i + 1 < tokens.size() && tokens[i + 1].is("("))
+            what = "->run()";
+        if (what.empty())
+            continue;
+        const auto &lock = locks.back();
+        diagnostics.push_back(
+            {file, t.line, rule,
+             "calls " + what + " while the lock '" +
+                 std::string(lock.name) + "' (line " +
+                 std::to_string(lock.line) + ") is held",
+             "copy what you need, drop the lock, then block — a "
+             "blocking call under a lock stalls every other "
+             "client/worker"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fact extraction for the whole-tree passes
+// ---------------------------------------------------------------------------
+
+/** Quoted #include directives with their lines (the module graph is
+ * over project headers; <...> forms are banned-headers' business). */
+std::vector<detail::IncludeEdge>
+collectIncludes(std::string_view raw, std::string_view scrubbed)
+{
+    std::vector<detail::IncludeEdge> includes;
+    int line = 1;
+    std::size_t begin = 0;
+    while (begin <= scrubbed.size()) {
+        std::size_t end = scrubbed.find('\n', begin);
+        if (end == std::string_view::npos)
+            end = scrubbed.size();
+        std::string_view code = scrubbed.substr(begin, end - begin);
+        std::size_t p = code.find_first_not_of(" \t");
+        if (p != std::string_view::npos && code[p] == '#') {
+            p = code.find_first_not_of(" \t", p + 1);
+            if (p != std::string_view::npos &&
+                code.substr(p, 7) == "include") {
+                std::string_view raw_line =
+                    raw.substr(begin, end - begin);
+                const std::size_t open =
+                    raw_line.find_first_not_of(" \t", p + 7);
+                if (open != std::string_view::npos &&
+                    raw_line[open] == '"') {
+                    const std::size_t close =
+                        raw_line.find('"', open + 1);
+                    if (close != std::string_view::npos)
+                        includes.push_back(
+                            {std::string(raw_line.substr(
+                                 open + 1, close - open - 1)),
+                             line});
+                }
+            }
+        }
+        if (end == scrubbed.size())
+            break;
+        begin = end + 1;
+        ++line;
+    }
+    return includes;
+}
+
+/** Identifiers that can precede a '(' without being a callee, or sit
+ * in a declaration's type position without being a type. */
+bool
+nonCalleeKeyword(std::string_view t)
+{
+    return inSet(
+        t, {"if",        "while",     "for",       "switch",
+            "return",    "throw",     "new",       "delete",
+            "case",      "goto",      "else",      "do",
+            "co_await",  "co_return", "co_yield",  "sizeof",
+            "alignof",   "alignas",   "typeid",    "decltype",
+            "noexcept",  "static_assert",          "operator",
+            "explicit",  "virtual",   "static",    "inline",
+            "friend",    "constexpr", "consteval", "constinit",
+            "typename",  "class",     "struct",    "enum",
+            "union",     "public",    "private",   "protected",
+            "namespace", "using",     "typedef",   "template",
+            "mutable",   "extern",    "thread_local",
+            "volatile",  "and",       "or",        "not",
+            "requires",  "concept",   "catch",     "assert",
+            "defined"});
+}
+
+/**
+ * Function declarations, split by return type: names declared to
+ * return Outcome<...> vs anything else. The shape is
+ * `<type> [&*const] [Qual::]*name (` — the plain side exists so the
+ * tree pass can drop ambiguous names (declared both ways somewhere)
+ * from the unchecked-outcome index: a token-level call site cannot
+ * type its receiver, so only unambiguous names are actionable.
+ */
+void
+collectDecls(const std::vector<Token> &tokens,
+             std::vector<std::string> &outcome_decls,
+             std::vector<std::string> &plain_decls)
+{
+    const std::size_t n = tokens.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!tokens[i].ident() || i + 1 >= n || !tokens[i + 1].is("("))
+            continue;
+        if (nonCalleeKeyword(tokens[i].text))
+            continue;
+        // Walk back over the qualified-name chain to where the
+        // return type ends.
+        std::size_t p = i;
+        while (p >= 2 && tokens[p - 1].is("::") &&
+               tokens[p - 2].ident())
+            p -= 2;
+        if (p == 0)
+            continue;
+        // Skip ref/pointer/cv decorations between type and name.
+        std::size_t q = p - 1;
+        while (q > 0 && (tokens[q].is("&") || tokens[q].is("*") ||
+                         tokens[q].is("const")))
+            --q;
+        if (tokens[q].is("&") || tokens[q].is("*") ||
+            tokens[q].is("const"))
+            continue;  // decorations ran into the file start
+        if (tokens[q].is(">")) {
+            // Template-id return type: find its head.
+            std::size_t d = 1;
+            std::size_t r = q;
+            while (r > 0 && d > 0) {
+                --r;
+                if (tokens[r].is(">"))
+                    ++d;
+                else if (tokens[r].is("<"))
+                    --d;
+            }
+            if (d != 0 || r == 0 || !tokens[r - 1].ident())
+                continue;
+            if (tokens[r - 1].is("Outcome"))
+                outcome_decls.emplace_back(tokens[i].text);
+            else
+                plain_decls.emplace_back(tokens[i].text);
+            continue;
+        }
+        if (tokens[q].ident() && !nonCalleeKeyword(tokens[q].text))
+            plain_decls.emplace_back(tokens[i].text);
+    }
+}
+
+/**
+ * Calls discarded as bare expression-statements: the whole statement
+ * is `receiver.chain->callee(args);` with the value going nowhere.
+ * Records the callee name only — the tree pass decides which names
+ * matter by intersecting with the Outcome index.
+ */
+std::vector<detail::BareCall>
+collectBareCalls(const std::vector<Token> &tokens)
+{
+    std::vector<detail::BareCall> calls;
+    const std::size_t n = tokens.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!tokens[i].ident() || i + 1 >= n || !tokens[i + 1].is("("))
+            continue;
+        if (nonCalleeKeyword(tokens[i].text))
+            continue;
+        // The call's argument list must be the end of the statement.
+        std::size_t depth = 1;
+        std::size_t j = i + 2;
+        while (j < n && depth > 0) {
+            if (tokens[j].is("("))
+                ++depth;
+            else if (tokens[j].is(")"))
+                --depth;
+            ++j;
+        }
+        if (depth != 0 || j >= n || !tokens[j].is(";"))
+            continue;
+        // Walk back over the receiver chain (obj.member->f(),
+        // ns::f(), chained calls) to the start of the expression.
+        std::size_t p = i;
+        while (p >= 2) {
+            const auto &prev = tokens[p - 1];
+            if (!prev.is(".") && !prev.is("->") && !prev.is("::"))
+                break;
+            if (tokens[p - 2].ident()) {
+                p -= 2;
+                continue;
+            }
+            if (tokens[p - 2].is(")")) {
+                // Hop over a chained call: ... g(...) .f(...)
+                std::size_t q = p - 2;
+                std::size_t d = 1;
+                while (q > 0 && d > 0) {
+                    --q;
+                    if (tokens[q].is(")"))
+                        ++d;
+                    else if (tokens[q].is("("))
+                        --d;
+                }
+                if (d == 0 && q >= 1 && tokens[q - 1].ident()) {
+                    p = q - 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Only a value with nowhere to go counts: the chain must
+        // begin a statement (`return f();`, `x = f();`, `int y =
+        // f();` all use the result).
+        const bool statement_start =
+            p == 0 || tokens[p - 1].is(";") || tokens[p - 1].is("{") ||
+            tokens[p - 1].is("}") || tokens[p - 1].is(")") ||
+            tokens[p - 1].is(":") || tokens[p - 1].is("else") ||
+            tokens[p - 1].is("do");
+        if (statement_start)
+            calls.push_back(
+                {std::string(tokens[i].text), tokens[i].line});
+    }
+    return calls;
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -889,14 +1218,51 @@ ruleDescription(std::string_view rule)
     return nullptr;
 }
 
-namespace {
+namespace detail {
 
-Report
-lintTextSeeded(std::string_view policy_path, std::string_view text,
-               const std::vector<std::string> &header_names)
+std::uint64_t
+contentHash(std::string_view text)
 {
-    Report report;
-    report.files_scanned = 1;
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    return hash;
+}
+
+void
+sortUniqueDiagnostics(std::vector<Diagnostic> &diagnostics)
+{
+    std::sort(diagnostics.begin(), diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+    diagnostics.erase(
+        std::unique(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic &a, const Diagnostic &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.rule == b.rule &&
+                               a.message == b.message;
+                    }),
+        diagnostics.end());
+}
+
+FileFacts
+analyzeText(std::string_view policy_path, std::string_view text,
+            const std::vector<std::string> &header_names,
+            std::uint64_t header_hash)
+{
+    FileFacts facts;
+    facts.path = std::string(policy_path);
+    facts.hash = contentHash(text) * 0x100000001B3ULL ^ header_hash;
+
     const std::string file(policy_path);
     const Policy policy = policyFor(policy_path);
 
@@ -915,14 +1281,22 @@ lintTextSeeded(std::string_view policy_path, std::string_view text,
         ruleTypedErrors(file, tokens, raw);
     if (policy.enabled("banned-headers"))
         ruleBannedHeaders(file, text, scrubbed.code, raw);
+    if (policy.enabled("lock-discipline"))
+        ruleLockDiscipline(file, tokens, raw);
+
+    facts.includes = collectIncludes(text, scrubbed.code);
+    collectDecls(tokens, facts.outcome_decls, facts.plain_decls);
+    facts.bare_calls = collectBareCalls(tokens);
 
     std::vector<Suppression> suppressions;
     collectSuppressions(file, scrubbed.comments, suppressions,
-                        report.diagnostics);
+                        facts.local_diags);
 
     for (auto &diagnostic : raw) {
         bool suppressed = false;
         for (auto &suppression : suppressions) {
+            if (isTreeRule(suppression.rule))
+                continue;
             if (suppression.rule == diagnostic.rule &&
                 suppression.target_line == diagnostic.line) {
                 suppression.used = true;
@@ -930,66 +1304,45 @@ lintTextSeeded(std::string_view policy_path, std::string_view text,
             }
         }
         if (!suppressed)
-            report.diagnostics.push_back(std::move(diagnostic));
+            facts.local_diags.push_back(std::move(diagnostic));
     }
     for (const auto &suppression : suppressions) {
+        // Tree-rule markers are deferred: only the whole-tree passes
+        // can tell a used suppression from a stale one.
+        if (isTreeRule(suppression.rule)) {
+            facts.tree_suppressions.push_back(
+                {suppression.rule, suppression.comment_line,
+                 suppression.target_line});
+            continue;
+        }
         if (suppression.used)
             continue;
-        report.diagnostics.push_back(
+        facts.local_diags.push_back(
             {file, suppression.comment_line, "unused-suppression",
              "allow(" + suppression.rule + ") suppressed nothing",
              "the finding it covered is gone — delete the marker"});
     }
-
-    std::sort(report.diagnostics.begin(), report.diagnostics.end(),
-              [](const Diagnostic &a, const Diagnostic &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  if (a.rule != b.rule)
-                      return a.rule < b.rule;
-                  return a.message < b.message;
-              });
-    report.diagnostics.erase(
-        std::unique(report.diagnostics.begin(),
-                    report.diagnostics.end(),
-                    [](const Diagnostic &a, const Diagnostic &b) {
-                        return a.file == b.file && a.line == b.line &&
-                               a.rule == b.rule &&
-                               a.message == b.message;
-                    }),
-        report.diagnostics.end());
-    return report;
+    sortUniqueDiagnostics(facts.local_diags);
+    return facts;
 }
 
-} // namespace
-
-Report
-lintText(std::string_view policy_path, std::string_view text)
+FileInput
+readFileInput(const std::string &path)
 {
-    return lintTextSeeded(policy_path, text, {});
-}
-
-Report
-lintFile(const std::string &path)
-{
+    FileInput input;
     std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        Report report;
-        report.diagnostics.push_back(
-            {path, 0, "io-error", "cannot read file", ""});
-        return report;
-    }
+    if (!in)
+        return input;
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    input.text = buffer.str();
+    input.ok = true;
 
     // An implementation file iterates members its header declares;
     // per-file analysis would never see `std::unordered_map ... _m;`
-    // from foo.hh while checking foo.cc's range-fors. Scan the
-    // companion header (same stem, .hh/.h) for unordered container
-    // names and seed the ordered-iteration rule with them.
-    std::vector<std::string> header_names;
+    // from foo.hh while checking foo.cc's range-fors, and the facts
+    // cache must invalidate when the header changes. Read the
+    // companion (same stem, .hh/.h) alongside.
     const auto ext = std::filesystem::path(path).extension().string();
     if (ext == ".cc" || ext == ".cpp") {
         for (const char *header_ext : {".hh", ".h"}) {
@@ -998,63 +1351,76 @@ lintFile(const std::string &path)
             std::ifstream header(companion, std::ios::binary);
             if (!header)
                 continue;
-            std::ostringstream header_text;
-            header_text << header.rdbuf();
-            // Keep the scrub result alive while tokens (string_views
-            // into its code buffer) are read.
-            const auto header_scrubbed = scrub(header_text.str());
-            const auto names =
-                unorderedNames(tokenize(header_scrubbed.code));
-            header_names.insert(header_names.end(), names.begin(),
-                                names.end());
+            std::ostringstream header_buffer;
+            header_buffer << header.rdbuf();
+            input.header_text = header_buffer.str();
             break;
         }
     }
-    return lintTextSeeded(path, buffer.str(), header_names);
+    return input;
+}
+
+std::uint64_t
+inputHash(const FileInput &input)
+{
+    return contentHash(input.text) * 0x100000001B3ULL ^
+           contentHash(input.header_text);
+}
+
+FileFacts
+analyzeInput(const std::string &path, const FileInput &input)
+{
+    std::vector<std::string> header_names;
+    if (!input.header_text.empty()) {
+        // Keep the scrub result alive while tokens (string_views
+        // into its code buffer) are read.
+        const auto header_scrubbed = scrub(input.header_text);
+        header_names = unorderedNames(tokenize(header_scrubbed.code));
+    }
+    return analyzeText(path, input.text, header_names,
+                       contentHash(input.header_text));
+}
+
+FileFacts
+analyzeFile(const std::string &path)
+{
+    const FileInput input = readFileInput(path);
+    if (!input.ok) {
+        FileFacts facts;
+        facts.path = path;
+        facts.io_error = true;
+        facts.local_diags.push_back(
+            {path, 0, "io-error", "cannot read file", ""});
+        return facts;
+    }
+    return analyzeInput(path, input);
+}
+
+} // namespace detail
+
+Report
+lintText(std::string_view policy_path, std::string_view text)
+{
+    const auto facts =
+        detail::analyzeText(policy_path, text, {},
+                            detail::contentHash(std::string_view()));
+    Report report;
+    report.files_scanned = 1;
+    report.files_parsed = 1;
+    report.diagnostics = facts.local_diags;
+    return report;
 }
 
 Report
-lintTree(const std::vector<std::string> &roots)
+lintFile(const std::string &path)
 {
-    namespace fs = std::filesystem;
-    std::vector<std::string> files;
-    auto wanted = [](const fs::path &p) {
-        const auto ext = p.extension().string();
-        return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-               ext == ".h";
-    };
-    for (const auto &root : roots) {
-        if (fs::is_regular_file(root)) {
-            files.push_back(root);
-            continue;
-        }
-        if (!fs::is_directory(root))
-            continue;
-        for (auto it = fs::recursive_directory_iterator(root);
-             it != fs::recursive_directory_iterator(); ++it) {
-            const auto name = it->path().filename().string();
-            if (it->is_directory() &&
-                (name == "lint_fixtures" || name == "build" ||
-                 (!name.empty() && name[0] == '.'))) {
-                it.disable_recursion_pending();
-                continue;
-            }
-            if (it->is_regular_file() && wanted(it->path()))
-                files.push_back(it->path().string());
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-
+    auto facts = detail::analyzeFile(path);
     Report report;
-    for (const auto &file : files) {
-        auto one = lintFile(file);
-        report.files_scanned += one.files_scanned;
-        report.diagnostics.insert(
-            report.diagnostics.end(),
-            std::make_move_iterator(one.diagnostics.begin()),
-            std::make_move_iterator(one.diagnostics.end()));
+    if (!facts.io_error) {
+        report.files_scanned = 1;
+        report.files_parsed = 1;
     }
+    report.diagnostics = std::move(facts.local_diags);
     return report;
 }
 

@@ -1,11 +1,15 @@
 /**
  * @file
  * qmh-lint: project-specific static analysis enforcing the
- * determinism and typed-error contracts (ISSUE 6).
+ * determinism, typed-error and architecture contracts.
  *
  * The reproduction's central promise — bit-identical rows for a given
  * (spec, seed) on any thread count, across processes and the result
- * cache — rests on invariants the compiler cannot see:
+ * cache — rests on invariants the compiler cannot see. The analyzer
+ * has two tiers:
+ *
+ * Per-file token rules (a comment/string-stripping tokenizer plus
+ * pattern matching; lintText/lintFile):
  *
  *  - no-wallclock       simulation code never reads a clock or an
  *                       entropy source (std::chrono::*_clock::now,
@@ -20,12 +24,33 @@
  *  - typed-errors       src/api and src/server request paths return
  *                       Outcome instead of panicking/throwing/exiting;
  *  - banned-headers     headers that exist only to break the rules
- *                       above (<ctime>, <random>, ...) stay out.
+ *                       above (<ctime>, <random>, ...) stay out;
+ *  - lock-discipline    src/server and src/sweep never make a
+ *                       blocking call (poll/read/write/wait/simulate/
+ *                       runSpecSweep/->run()) while a lock_guard /
+ *                       unique_lock / scoped_lock is live in an
+ *                       enclosing scope (condition-variable waits ON
+ *                       the lock are the sanctioned exception).
  *
- * The analysis is a comment/string-stripping tokenizer plus token
- * pattern rules: deliberately simple, zero-dependency and fast enough
- * to run on every ctest invocation. It is heuristic, so every rule
- * supports inline suppression:
+ * Whole-tree passes (lintTree only — they need every file's facts):
+ *
+ *  - layering           the #include graph over the src/ modules
+ *                       respects the declared layer policy: no upward
+ *                       includes, no forbidden cross-layer skips, no
+ *                       include cycles;
+ *  - unchecked-outcome  a call to any function the tree declares as
+ *                       returning Outcome<...> is never discarded as
+ *                       a bare expression-statement.
+ *
+ * The tree engine gets production treatment: files are linted in
+ * parallel on the sweep::ThreadPool with diagnostics merged in
+ * sorted-path order (bit-identical output at 1 or N threads — the
+ * same contract as sweeps), per-file facts are memoized in a
+ * content-hash JSONL cache (a warm re-lint of an unchanged tree
+ * parses zero files), and reports can be emitted as SARIF 2.1.0 for
+ * CI code-scanning annotations.
+ *
+ * Every rule is heuristic, so each supports inline suppression:
  *
  *     // qmh-lint: allow(<rule-id>): <one-line justification>
  *
@@ -38,6 +63,7 @@
 #ifndef QMH_TOOLS_LINT_HH
 #define QMH_TOOLS_LINT_HH
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,7 +88,9 @@ struct Diagnostic
 struct Report
 {
     std::vector<Diagnostic> diagnostics;
-    std::size_t files_scanned = 0;
+    std::size_t files_scanned = 0;  ///< files visited this run
+    std::size_t files_parsed = 0;   ///< tokenized + analyzed fresh
+    std::size_t files_cached = 0;   ///< facts served from the cache
 
     bool clean() const { return diagnostics.empty(); }
 };
@@ -74,29 +102,75 @@ const std::vector<std::string> &ruleNames();
 const char *ruleDescription(std::string_view rule);
 
 /**
- * Lint @p text as if it were the file @p policy_path. The path picks
- * the per-directory policy (typed-errors only under src/api/ and
- * src/server/, no-raw-rand waived inside the sanctioned
+ * Lint @p text as if it were the file @p policy_path, per-file rules
+ * only. The path picks the per-directory policy (typed-errors only
+ * under src/api/ and src/server/, lock-discipline under src/server/
+ * and src/sweep/, no-raw-rand waived inside the sanctioned
  * src/common/random home), so tests can label fixture content into
- * any policy domain.
+ * any policy domain. Whole-tree rules (layering, unchecked-outcome)
+ * need every file's facts and only run under lintTree.
  */
 Report lintText(std::string_view policy_path, std::string_view text);
 
 /**
- * Lint one file from disk (policy from its path). For a .cc/.cpp the
- * companion header (same stem, .hh or .h) is also scanned for
- * unordered-container member names, so a map declared in foo.hh and
- * range-for'd in foo.cc is still caught by ordered-iteration.
+ * Lint one file from disk (policy from its path), per-file rules
+ * only. For a .cc/.cpp the companion header (same stem, .hh or .h)
+ * is also scanned for unordered-container member names, so a map
+ * declared in foo.hh and range-for'd in foo.cc is still caught by
+ * ordered-iteration.
  */
 Report lintFile(const std::string &path);
 
+/** Options for whole-tree analysis. */
+struct TreeOptions
+{
+    /** Worker threads; 0 = one per hardware thread. The report is
+     * bit-identical at any thread count. */
+    unsigned threads = 0;
+    /** JSONL facts-cache path; empty = no incremental cache. The
+     * cache is keyed on (path, content hash incl. companion header)
+     * and rewritten wholesale after every run. */
+    std::string cache_path;
+    /** Layer policy text (see defaultLayerPolicy() for the format);
+     * empty = the built-in policy over the src/ modules. */
+    std::string layer_policy;
+};
+
 /**
- * Recursively lint every C++ source under @p roots (.cc/.hh/.cpp/.h).
+ * The built-in layer policy. Format, line by line ('#' comments):
+ *
+ *     layer <module>...    one tier per line, bottom tier first; a
+ *                          module may include its own tier and any
+ *                          tier below it
+ *     forbid <from>: <to>...  ban specific downward skip edges (the
+ *                          facade-bypass discipline)
+ *
+ * Upward includes, forbidden edges and include cycles among the
+ * declared modules are "layering" findings.
+ */
+const char *defaultLayerPolicy();
+
+/**
+ * Recursively lint every C++ source under @p roots (.cc/.hh/.cpp/.h):
+ * the per-file rules plus the whole-tree passes (layering over the
+ * include graph, unchecked-outcome over the Outcome function index).
  * Directories named "lint_fixtures" are skipped: fixtures contain
  * intentional violations and are linted explicitly by the self-tests.
- * Files are visited in sorted path order so output is deterministic.
+ * Files are processed in parallel but merged in sorted path order, so
+ * the report is deterministic and thread-count independent.
  */
+Report lintTree(const std::vector<std::string> &roots,
+                const TreeOptions &options);
+
+/** lintTree with default options (all hardware threads, no cache). */
 Report lintTree(const std::vector<std::string> &roots);
+
+/**
+ * The report as a SARIF 2.1.0 document (one run, one result per
+ * diagnostic, rule metadata from the registry) for CI code-scanning
+ * upload. Deterministic: same report, same bytes.
+ */
+std::string toSarif(const Report &report);
 
 } // namespace lint
 } // namespace qmh

@@ -1,16 +1,26 @@
 /**
  * @file
  * qmh_lint CLI: lint the given files/directories and report every
- * finding as file:line: [rule] message. Exit 0 when clean, 1 when
- * there are findings, 2 on usage errors — so it slots into CTest and
- * CI as a pass/fail gate.
+ * finding as file:line: [rule] message (or as a SARIF 2.1.0 document
+ * with --format=sarif). Exit codes are distinct per failure class so
+ * CI can tell a dirty tree from a broken invocation:
+ *
+ *   0  clean
+ *   1  findings reported
+ *   2  usage error (unknown option, bad value, no roots)
+ *   3  I/O error (a root or explicit file could not be read)
  *
  *   qmh_lint src bench examples tests
+ *   qmh_lint --threads=8 --cache=build/lint_cache.jsonl src
+ *   qmh_lint --format=sarif src > lint.sarif
+ *   qmh_lint --layers=my_policy.txt src
  *   qmh_lint --list-rules
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,12 +31,34 @@ namespace {
 void
 usage(std::ostream &out)
 {
-    out << "usage: qmh_lint [--list-rules] <file-or-dir>...\n"
-        << "Static analysis for the qmh determinism & typed-error "
-           "contracts.\n"
+    out << "usage: qmh_lint [options] <file-or-dir>...\n"
+        << "Static analysis for the qmh determinism, typed-error and "
+           "architecture contracts.\n"
+        << "options:\n"
+        << "  --list-rules        print every rule and exit\n"
+        << "  --threads=N         worker threads (0 = one per core; "
+           "report is identical at any N)\n"
+        << "  --cache=FILE        JSONL facts cache; warm re-lints "
+           "of an unchanged tree parse zero files\n"
+        << "  --format=text|sarif output format (default text)\n"
+        << "  --layers=FILE       layer policy file (default: "
+           "built-in src/ policy; --print-layers shows it)\n"
+        << "  --print-layers      print the built-in layer policy "
+           "and exit\n"
         << "Suppress a finding with\n"
         << "  // qmh-lint: allow(<rule>): <one-line justification>\n"
         << "on the offending line or alone on the line above.\n";
+}
+
+/** Value of "--opt=value" when @p arg starts with "--opt=". */
+bool
+optValue(const char *arg, const char *name, std::string &value)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    value = arg + n + 1;
+    return true;
 }
 
 } // namespace
@@ -35,7 +67,10 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> roots;
+    qmh::lint::TreeOptions options;
+    bool sarif = false;
     for (int i = 1; i < argc; ++i) {
+        std::string value;
         if (std::strcmp(argv[i], "--help") == 0 ||
             std::strcmp(argv[i], "-h") == 0) {
             usage(std::cout);
@@ -46,6 +81,48 @@ main(int argc, char **argv)
                 std::cout << rule << "\n    "
                           << qmh::lint::ruleDescription(rule) << "\n";
             return 0;
+        }
+        if (std::strcmp(argv[i], "--print-layers") == 0) {
+            std::cout << qmh::lint::defaultLayerPolicy();
+            return 0;
+        }
+        if (optValue(argv[i], "--threads", value)) {
+            char *end = nullptr;
+            const long threads = std::strtol(value.c_str(), &end, 10);
+            if (!end || *end != '\0' || threads < 0 ||
+                threads > 1024) {
+                std::cerr << "qmh_lint: bad --threads value '"
+                          << value << "'\n";
+                return 2;
+            }
+            options.threads = static_cast<unsigned>(threads);
+            continue;
+        }
+        if (optValue(argv[i], "--cache", value)) {
+            options.cache_path = value;
+            continue;
+        }
+        if (optValue(argv[i], "--format", value)) {
+            if (value == "sarif") {
+                sarif = true;
+            } else if (value != "text") {
+                std::cerr << "qmh_lint: unknown format '" << value
+                          << "' (expected text or sarif)\n";
+                return 2;
+            }
+            continue;
+        }
+        if (optValue(argv[i], "--layers", value)) {
+            std::ifstream in(value, std::ios::binary);
+            if (!in) {
+                std::cerr << "qmh_lint: cannot read layer policy '"
+                          << value << "'\n";
+                return 3;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            options.layer_policy = buffer.str();
+            continue;
         }
         if (argv[i][0] == '-') {
             std::cerr << "qmh_lint: unknown option '" << argv[i]
@@ -60,11 +137,27 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const auto report = qmh::lint::lintTree(roots);
+    const auto report = qmh::lint::lintTree(roots, options);
+
+    // An explicit root the engine could not read is an invocation
+    // problem, not a lint finding: report it on its own exit code so
+    // CI never mistakes a typo'd path for a clean tree.
+    bool io_error = false;
     for (const auto &diagnostic : report.diagnostics)
-        std::cout << diagnostic.format() << "\n";
+        if (diagnostic.rule == "io-error")
+            io_error = true;
+
+    if (sarif) {
+        std::cout << qmh::lint::toSarif(report) << "\n";
+    } else {
+        for (const auto &diagnostic : report.diagnostics)
+            std::cout << diagnostic.format() << "\n";
+    }
     std::cerr << "qmh_lint: " << report.diagnostics.size()
               << " finding(s) in " << report.files_scanned
-              << " file(s)\n";
+              << " file(s) (" << report.files_parsed << " parsed, "
+              << report.files_cached << " cached)\n";
+    if (io_error)
+        return 3;
     return report.clean() ? 0 : 1;
 }

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SARIF 2.1.0 emission: one run, rule metadata from the registry, one
+ * result per diagnostic. The output is deterministic (diagnostics are
+ * already in canonical order and rules are emitted registry-first,
+ * extras sorted), so the same report always yields the same bytes —
+ * CI can diff or cache the document like any other artifact.
+ */
+
+#include "qmh_lint/lint.hh"
+
+#include <set>
+#include <sstream>
+
+#include "sweep/emit.hh"
+
+namespace qmh {
+namespace lint {
+
+namespace {
+
+/** Stable result severity: contract findings are errors; the meta
+ * rules mark housekeeping problems and map to warning. */
+const char *
+sarifLevel(const std::string &rule)
+{
+    if (rule == "unused-suppression" || rule == "bad-suppression")
+        return "warning";
+    return "error";
+}
+
+} // namespace
+
+std::string
+toSarif(const Report &report)
+{
+    // Registry rules first, then any extra ids the report carries
+    // (io-error), sorted — reportingDescriptor order is part of the
+    // deterministic-bytes contract.
+    std::vector<std::string> rules = ruleNames();
+    std::set<std::string> known(rules.begin(), rules.end());
+    std::set<std::string> extras;
+    for (const auto &diagnostic : report.diagnostics)
+        if (!known.count(diagnostic.rule))
+            extras.insert(diagnostic.rule);
+    rules.insert(rules.end(), extras.begin(), extras.end());
+
+    std::ostringstream out;
+    out << "{\"$schema\":\"https://json.schemastore.org/"
+           "sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{"
+           "\"tool\":{\"driver\":{\"name\":\"qmh-lint\","
+           "\"informationUri\":"
+        << sweep::jsonQuote("https://example.invalid/qmh-lint")
+        << ",\"rules\":[";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        const char *description = ruleDescription(rules[i]);
+        out << (i ? "," : "") << "{\"id\":"
+            << sweep::jsonQuote(rules[i])
+            << ",\"shortDescription\":{\"text\":"
+            << sweep::jsonQuote(description
+                                    ? description
+                                    : "reported outside the rule "
+                                      "registry")
+            << "}}";
+    }
+    out << "]}},\"results\":[";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        const auto &diagnostic = report.diagnostics[i];
+        std::string text = diagnostic.message;
+        if (!diagnostic.hint.empty())
+            text += " (hint: " + diagnostic.hint + ")";
+        // SARIF regions are 1-based; the io-error pseudo-line 0 pins
+        // to the top of the file.
+        const int line = diagnostic.line > 0 ? diagnostic.line : 1;
+        out << (i ? "," : "") << "{\"ruleId\":"
+            << sweep::jsonQuote(diagnostic.rule) << ",\"level\":\""
+            << sarifLevel(diagnostic.rule)
+            << "\",\"message\":{\"text\":" << sweep::jsonQuote(text)
+            << "},\"locations\":[{\"physicalLocation\":{"
+               "\"artifactLocation\":{\"uri\":"
+            << sweep::jsonQuote(diagnostic.file)
+            << "},\"region\":{\"startLine\":" << line << "}}}]}";
+    }
+    out << "]}]}";
+    return out.str();
+}
+
+} // namespace lint
+} // namespace qmh
