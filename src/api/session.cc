@@ -30,7 +30,15 @@ struct JobState
     std::atomic<bool> cancel{false};
 
     mutable std::mutex mutex;
+    // Two wake channels so point retires do not ping-pong with a
+    // thread blocked in wait(): `changed` signals streaming progress
+    // (prefix advanced) and is only waited on by nextRow(), `retired`
+    // signals job completion and is only waited on by wait(). On a
+    // single-CPU host a shared condvar costs one context-switch
+    // round-trip per point for a waiter that only cares about the
+    // final retire.
     std::condition_variable changed;
+    std::condition_variable retired;
     std::vector<std::vector<sweep::Cell>> rows;  ///< set when done
     std::vector<char> row_done;
     std::size_t prefix = 0;  ///< first index not (yet) completed
@@ -48,8 +56,10 @@ namespace {
 void
 retireLocked(JobState &state)
 {
-    if (state.done + state.failed + state.skipped == state.total)
+    if (state.done + state.failed + state.skipped == state.total) {
         state.finished = true;
+        state.retired.notify_all();
+    }
     state.changed.notify_all();
 }
 
@@ -198,7 +208,7 @@ JobHandle::wait()
 {
     auto &state = *_state;
     std::unique_lock<std::mutex> lock(state.mutex);
-    state.changed.wait(lock, [&state]() { return state.finished; });
+    state.retired.wait(lock, [&state]() { return state.finished; });
 
     JobResult result;
     result.table = sweep::ResultTable(state.columns);

@@ -23,38 +23,82 @@ QubitCache::QubitCache(std::size_t capacity) : _capacity(capacity)
         qmh_fatal("QubitCache: capacity must be nonzero");
 }
 
+void
+QubitCache::unlink(std::uint32_t n)
+{
+    const auto &node = _nodes[n];
+    if (node.prev != npos)
+        _nodes[node.prev].next = node.next;
+    else
+        _head = node.next;
+    if (node.next != npos)
+        _nodes[node.next].prev = node.prev;
+    else
+        _tail = node.prev;
+}
+
+void
+QubitCache::linkFront(std::uint32_t n)
+{
+    auto &node = _nodes[n];
+    node.prev = npos;
+    node.next = _head;
+    if (_head != npos)
+        _nodes[_head].prev = n;
+    else
+        _tail = n;
+    _head = n;
+}
+
 bool
 QubitCache::touch(circuit::QubitId qubit,
                   std::vector<circuit::QubitId> *evicted)
 {
-    const auto it = _entries.find(qubit);
-    if (it != _entries.end()) {
-        _lru.splice(_lru.begin(), _lru, it->second);
+    const auto id = qubit.value();
+    if (id >= _where.size())
+        _where.resize(id + 1, npos);
+    auto n = _where[id];
+    if (n != npos) {
+        if (_head != n) {
+            unlink(n);
+            linkFront(n);
+        }
         return true;
     }
-    if (_entries.size() >= _capacity) {
-        const auto victim = _lru.back();
-        _lru.pop_back();
-        _entries.erase(victim);
+    if (_nodes.size() >= _capacity) {
+        // Evict the LRU entry and reuse its node slot in place.
+        n = _tail;
+        const auto victim = _nodes[n].qubit;
+        _where[victim.value()] = npos;
         ++_evictions;
         if (evicted)
             evicted->push_back(victim);
+        unlink(n);
+        _nodes[n].qubit = qubit;
+    } else {
+        n = static_cast<std::uint32_t>(_nodes.size());
+        _nodes.push_back({qubit, npos, npos});
     }
-    _lru.push_front(qubit);
-    _entries[qubit] = _lru.begin();
+    _where[id] = n;
+    linkFront(n);
     return false;
 }
 
 bool
 QubitCache::contains(circuit::QubitId qubit) const
 {
-    return _entries.find(qubit) != _entries.end();
+    return qubit.value() < _where.size() &&
+           _where[qubit.value()] != npos;
 }
 
 std::vector<circuit::QubitId>
 QubitCache::residents() const
 {
-    return {_lru.begin(), _lru.end()};
+    std::vector<circuit::QubitId> out;
+    out.reserve(_nodes.size());
+    for (auto n = _head; n != npos; n = _nodes[n].next)
+        out.push_back(_nodes[n].qubit);
+    return out;
 }
 
 CacheState::CacheState(std::size_t capacity,
@@ -67,16 +111,34 @@ std::vector<circuit::QubitId>
 CacheState::missingOperands(const circuit::Instruction &inst) const
 {
     std::vector<circuit::QubitId> missing;
+    missingOperandsInto(inst, missing);
+    return missing;
+}
+
+void
+CacheState::missingOperandsInto(
+    const circuit::Instruction &inst,
+    std::vector<circuit::QubitId> &out) const
+{
+    out.clear();
     for (const auto &q : inst.operands())
         if (isCacheable(q) && !_cache.contains(q))
-            missing.push_back(q);
-    return missing;
+            out.push_back(q);
 }
 
 std::vector<circuit::QubitId>
 CacheState::access(const circuit::Instruction &inst)
 {
     std::vector<circuit::QubitId> evicted;
+    accessInto(inst, evicted);
+    return evicted;
+}
+
+void
+CacheState::accessInto(const circuit::Instruction &inst,
+                       std::vector<circuit::QubitId> &evicted)
+{
+    evicted.clear();
     for (const auto &q : inst.operands()) {
         if (!isCacheable(q))
             continue;
@@ -86,7 +148,6 @@ CacheState::access(const circuit::Instruction &inst)
         else
             ++_misses;
     }
-    return evicted;
 }
 
 void

@@ -27,8 +27,6 @@
 #define QMH_CACHE_CACHE_SIM_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "circuit/dag.hh"
@@ -65,7 +63,7 @@ class QubitCache
     bool contains(circuit::QubitId qubit) const;
 
     std::size_t capacity() const { return _capacity; }
-    std::size_t size() const { return _entries.size(); }
+    std::size_t size() const { return _nodes.size(); }
     std::uint64_t evictions() const { return _evictions; }
 
     /**
@@ -77,11 +75,27 @@ class QubitCache
     std::vector<circuit::QubitId> residents() const;
 
   private:
+    static constexpr std::uint32_t npos = ~0u;
+
+    /** One resident qubit threaded into the recency list. */
+    struct Node {
+        circuit::QubitId qubit;
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    void unlink(std::uint32_t n);
+    void linkFront(std::uint32_t n);
+
     std::size_t _capacity;
-    // MRU at front. List + index map gives O(1) touch.
-    std::list<circuit::QubitId> _lru;
-    std::unordered_map<circuit::QubitId,
-                       std::list<circuit::QubitId>::iterator> _entries;
+    // Flat intrusive LRU: prev/next indices threaded through one node
+    // array (MRU at _head), with a dense qubit-id -> node index map.
+    // touch() is O(1) with zero allocation once the id map is sized;
+    // eviction reuses the victim's node slot in place.
+    std::vector<Node> _nodes;
+    std::vector<std::uint32_t> _where;
+    std::uint32_t _head = npos;
+    std::uint32_t _tail = npos;
     std::uint64_t _evictions = 0;
 };
 
@@ -125,6 +139,14 @@ class CacheState
     missingOperands(const circuit::Instruction &inst) const;
 
     /**
+     * missingOperands() into a caller-owned scratch vector (cleared
+     * first), so per-gate issue loops reuse capacity instead of
+     * allocating a fresh vector per instruction.
+     */
+    void missingOperandsInto(const circuit::Instruction &inst,
+                             std::vector<circuit::QubitId> &out) const;
+
+    /**
      * Issue @p inst against the cache: touch every cacheable operand,
      * counting hits and misses; missing operands are brought in
      * (evicting LRU entries when full). Returns the qubits evicted by
@@ -133,6 +155,10 @@ class CacheState
      * ignore the return value.
      */
     std::vector<circuit::QubitId> access(const circuit::Instruction &inst);
+
+    /** access() into a caller-owned scratch vector (cleared first). */
+    void accessInto(const circuit::Instruction &inst,
+                    std::vector<circuit::QubitId> &evicted);
 
     /** Reset the access counters, keeping residency (warm start). */
     void resetCounters();

@@ -1,7 +1,7 @@
 #include "dag.hh"
 
 #include <algorithm>
-#include <span>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -12,46 +12,58 @@ DependencyGraph::DependencyGraph(const Program &program)
 {
     const auto &insts = program.instructions();
     const std::size_t m = insts.size();
-    _preds.resize(m);
-    _succs.resize(m);
     _in_degree.assign(m, 0);
     _asap.assign(m, 0);
+
+    // One flat (pred, succ) edge list in discovery order, converted
+    // to CSR in a second pass — predecessor edges of instruction i
+    // are contiguous, successor edges are gathered by a stable
+    // counting sort, and the whole build does a handful of
+    // allocations however many gates the program has.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(2 * m);
 
     // last_writer[q] = most recent instruction touching qubit q.
     std::vector<std::int64_t> last_writer(
         static_cast<std::size_t>(program.qubitCount()), -1);
+    std::vector<std::uint32_t> barrier_preds;
 
     for (std::size_t i = 0; i < m; ++i) {
         if (insts[i].kind == GateKind::Barrier) {
             // A barrier synchronizes against every qubit: depend on
             // the distinct set of last touchers and become the last
             // toucher of everything.
-            std::vector<std::uint32_t> preds;
+            barrier_preds.clear();
             for (auto &last : last_writer) {
                 if (last >= 0)
-                    preds.push_back(static_cast<std::uint32_t>(last));
+                    barrier_preds.push_back(
+                        static_cast<std::uint32_t>(last));
                 last = static_cast<std::int64_t>(i);
             }
-            std::sort(preds.begin(), preds.end());
-            preds.erase(std::unique(preds.begin(), preds.end()),
-                        preds.end());
-            for (const auto p : preds) {
-                _preds[i].push_back(p);
-                _succs[p].push_back(static_cast<std::uint32_t>(i));
+            std::sort(barrier_preds.begin(), barrier_preds.end());
+            barrier_preds.erase(std::unique(barrier_preds.begin(),
+                                            barrier_preds.end()),
+                                barrier_preds.end());
+            for (const auto p : barrier_preds) {
+                edges.emplace_back(p, static_cast<std::uint32_t>(i));
                 ++_in_degree[i];
             }
             continue;
         }
+        const auto first_edge = edges.size();
         for (const auto &q : insts[i].operands()) {
             const auto prev = last_writer[q.value()];
             if (prev >= 0) {
                 const auto p = static_cast<std::uint32_t>(prev);
                 // Avoid duplicate edges when two operands share the
-                // same predecessor.
-                if (std::find(_preds[i].begin(), _preds[i].end(), p) ==
-                    _preds[i].end()) {
-                    _preds[i].push_back(p);
-                    _succs[p].push_back(static_cast<std::uint32_t>(i));
+                // same predecessor (operand counts are tiny, so the
+                // linear scan is over at most a couple of entries).
+                bool duplicate = false;
+                for (auto e = first_edge; e < edges.size(); ++e)
+                    duplicate |= edges[e].first == p;
+                if (!duplicate) {
+                    edges.emplace_back(p,
+                                       static_cast<std::uint32_t>(i));
                     ++_in_degree[i];
                 }
             }
@@ -59,11 +71,35 @@ DependencyGraph::DependencyGraph(const Program &program)
         }
     }
 
+    // Predecessor CSR: edges were appended in ascending-instruction
+    // order, so each instruction's predecessors are already one
+    // contiguous run.
+    _pred_offset.assign(m + 1, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        _pred_offset[i + 1] =
+            _pred_offset[i] + static_cast<std::uint32_t>(_in_degree[i]);
+    _pred_edges.resize(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        _pred_edges[e] = edges[e].first;
+
+    // Successor CSR: stable counting sort by source keeps each
+    // node's successors in discovery (ascending) order.
+    _succ_offset.assign(m + 1, 0);
+    for (const auto &edge : edges)
+        ++_succ_offset[edge.first + 1];
+    for (std::size_t i = 0; i < m; ++i)
+        _succ_offset[i + 1] += _succ_offset[i];
+    _succ_edges.resize(edges.size());
+    std::vector<std::uint32_t> cursor(_succ_offset.begin(),
+                                      _succ_offset.end() - 1);
+    for (const auto &edge : edges)
+        _succ_edges[cursor[edge.first]++] = edge.second;
+
     // ASAP levels: instructions are already in a valid topological
     // order (program order), so one forward pass suffices.
     for (std::size_t i = 0; i < m; ++i) {
         std::uint32_t level = 0;
-        for (const auto p : _preds[i])
+        for (const auto p : predecessors(i))
             level = std::max(level, _asap[p] + 1);
         _asap[i] = level;
         _depth = std::max(_depth, level + 1);

@@ -12,6 +12,7 @@
 #define QMH_CIRCUIT_DAG_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "program.hh"
@@ -25,18 +26,32 @@ class DependencyGraph
   public:
     explicit DependencyGraph(const Program &program);
 
-    std::size_t size() const { return _preds.size(); }
+    std::size_t size() const { return _in_degree.size(); }
 
-    const std::vector<std::uint32_t> &
+    std::span<const std::uint32_t>
     predecessors(std::size_t i) const
     {
-        return _preds[i];
+        return {_pred_edges.data() + _pred_offset[i],
+                _pred_offset[i + 1] - _pred_offset[i]};
     }
 
-    const std::vector<std::uint32_t> &
+    std::span<const std::uint32_t>
     successors(std::size_t i) const
     {
-        return _succs[i];
+        return {_succ_edges.data() + _succ_offset[i],
+                _succ_offset[i + 1] - _succ_offset[i]};
+    }
+
+    /** Successor adjacency in CSR form (offsets into succEdges()). */
+    const std::vector<std::uint32_t> &succOffsets() const
+    {
+        return _succ_offset;
+    }
+
+    /** Flat successor edge array (indexed via succOffsets()). */
+    const std::vector<std::uint32_t> &succEdges() const
+    {
+        return _succ_edges;
     }
 
     /** Number of unfinished predecessors at the start (in-degree). */
@@ -61,8 +76,13 @@ class DependencyGraph
     std::uint32_t maxParallelism() const;
 
   private:
-    std::vector<std::vector<std::uint32_t>> _preds;
-    std::vector<std::vector<std::uint32_t>> _succs;
+    // Both adjacency directions in CSR form: one flat edge array plus
+    // per-node offsets, so construction is two passes over a flat
+    // edge list instead of thousands of small vector allocations.
+    std::vector<std::uint32_t> _pred_offset;
+    std::vector<std::uint32_t> _pred_edges;
+    std::vector<std::uint32_t> _succ_offset;
+    std::vector<std::uint32_t> _succ_edges;
     std::vector<int> _in_degree;
     std::vector<std::uint32_t> _asap;
     std::uint32_t _depth = 0;

@@ -1,6 +1,7 @@
 #include "scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.hh"
 
@@ -152,7 +153,7 @@ IncrementalScheduler::IncrementalScheduler(
     const circuit::Program &program,
     const circuit::DependencyGraph &dag, const LatencyModel &latency,
     unsigned blocks)
-    : _blocks(blocks), _capped(blocks != unlimited_blocks), _dag(dag)
+    : _blocks(blocks), _capped(blocks != unlimited_blocks)
 {
     const auto &insts = program.instructions();
     _total = static_cast<std::uint32_t>(insts.size());
@@ -162,27 +163,102 @@ IncrementalScheduler::IncrementalScheduler(
         _busy_block_steps += _latency[i];
     }
 
+    // The DAG already stores successor adjacency in CSR form; take a
+    // flat copy so every later claim/complete walks contiguous memory
+    // the scheduler owns outright.
+    _succ_offset = dag.succOffsets();
+    _succ = dag.succEdges();
+
     // Critical-path priority: longest weighted path to any sink.
-    std::vector<std::uint64_t> priority(_total, 0);
+    _priority.assign(_total, 0);
     for (std::uint32_t i = _total; i-- > 0;) {
         std::uint64_t best = 0;
-        for (const auto s : dag.successors(i))
-            best = std::max(best, priority[s]);
-        priority[i] = best + _latency[i];
+        for (auto e = _succ_offset[i]; e < _succ_offset[i + 1]; ++e)
+            best = std::max(best, _priority[_succ[e]]);
+        _priority[i] = best + _latency[i];
+    }
+
+    // The ready-set key only needs a monotone priority-descending
+    // rank, not a dense one. Every priority is bounded by the total
+    // busy steps, so when that fits 32 bits (any program the spec
+    // layer admits) the bitwise complement is the rank directly —
+    // no sort, no per-instruction binary search. The sort-based
+    // dense compression remains as the arbitrary-latency fallback.
+    _rank.resize(_total);
+    if (_busy_block_steps <= 0xffffffffull) {
+        for (std::uint32_t i = 0; i < _total; ++i)
+            _rank[i] = ~static_cast<std::uint32_t>(_priority[i]);
+    } else {
+        std::vector<std::uint64_t> distinct(_priority);
+        std::sort(distinct.begin(), distinct.end(), std::greater<>{});
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        for (std::uint32_t i = 0; i < _total; ++i)
+            _rank[i] = static_cast<std::uint32_t>(
+                std::lower_bound(distinct.begin(), distinct.end(),
+                                 _priority[i], std::greater<>{}) -
+                distinct.begin());
     }
 
     _remaining.resize(_total);
     for (std::uint32_t i = 0; i < _total; ++i) {
         _remaining[i] = dag.inDegree(i);
         if (_remaining[i] == 0)
-            _ready.push({priority[i], i});
+            pushReady(i);
     }
-    // Keep priorities for readying dependents later.
-    _priority = std::move(priority);
 
-    if (_capped)
+    if (_capped) {
+        _free_words.assign((blocks + 63) / 64, 0);
         for (std::uint32_t b = 0; b < blocks; ++b)
-            _free_blocks.push(b);
+            _free_words[b >> 6] |= std::uint64_t{1} << (b & 63);
+        _free_count = blocks;
+    }
+}
+
+void
+IncrementalScheduler::pushReady(std::uint32_t index)
+{
+    _ready.push_back((static_cast<std::uint64_t>(_rank[index]) << 32) |
+                     index);
+    std::push_heap(_ready.begin(), _ready.end(), std::greater<>{});
+}
+
+std::uint32_t
+IncrementalScheduler::popReady()
+{
+    std::pop_heap(_ready.begin(), _ready.end(), std::greater<>{});
+    const auto index =
+        static_cast<std::uint32_t>(_ready.back() & 0xffffffffu);
+    _ready.pop_back();
+    return index;
+}
+
+std::uint32_t
+IncrementalScheduler::allocBlock()
+{
+    while (_first_free_word < _free_words.size() &&
+           _free_words[_first_free_word] == 0)
+        ++_first_free_word;
+    if (_first_free_word < _free_words.size()) {
+        auto &word = _free_words[_first_free_word];
+        const auto bit =
+            static_cast<std::uint32_t>(std::countr_zero(word));
+        word &= word - 1;
+        --_free_count;
+        return static_cast<std::uint32_t>(_first_free_word * 64) + bit;
+    }
+    return _next_fresh_block++;
+}
+
+void
+IncrementalScheduler::freeBlock(std::uint32_t block)
+{
+    const std::size_t word = block >> 6;
+    if (word >= _free_words.size())
+        _free_words.resize(word + 1, 0);
+    _free_words[word] |= std::uint64_t{1} << (block & 63);
+    _first_free_word = std::min(_first_free_word, word);
+    ++_free_count;
 }
 
 std::optional<IssueClaim>
@@ -190,21 +266,29 @@ IncrementalScheduler::claim()
 {
     if (_ready.empty())
         return std::nullopt;
-    if (_capped && _free_blocks.empty())
+    if (_capped && _free_count == 0)
         return std::nullopt;
-    const auto entry = _ready.top();
-    _ready.pop();
-    std::uint32_t block_id;
-    if (!_free_blocks.empty()) {
-        block_id = _free_blocks.top();
-        _free_blocks.pop();
-    } else {
-        block_id = _next_fresh_block++;
-    }
+    const auto index = popReady();
     ++_claimed;
     ++_in_flight;
     _peak_in_flight = std::max(_peak_in_flight, _in_flight);
-    return IssueClaim{entry.index, block_id, _latency[entry.index]};
+    return IssueClaim{index, allocBlock(), _latency[index]};
+}
+
+std::uint32_t
+IncrementalScheduler::claimBatch(std::vector<IssueClaim> &out)
+{
+    std::uint32_t issued = 0;
+    while (!_ready.empty() && !(_capped && _free_count == 0)) {
+        const auto index = popReady();
+        ++_claimed;
+        ++_in_flight;
+        _peak_in_flight = std::max(_peak_in_flight, _in_flight);
+        out.push_back(IssueClaim{index, allocBlock(),
+                                 _latency[index]});
+        ++issued;
+    }
+    return issued;
 }
 
 void
@@ -215,10 +299,12 @@ IncrementalScheduler::complete(const IssueClaim &done)
                   "flight");
     --_in_flight;
     ++_completed;
-    _free_blocks.push(done.block);
-    for (const auto s : _dag.successors(done.index)) {
+    freeBlock(done.block);
+    for (auto e = _succ_offset[done.index];
+         e < _succ_offset[done.index + 1]; ++e) {
+        const auto s = _succ[e];
         if (--_remaining[s] == 0)
-            _ready.push({_priority[s], s});
+            pushReady(s);
     }
 }
 
@@ -253,14 +339,17 @@ listSchedule(const circuit::Program &program,
     std::priority_queue<FinishEntry, std::vector<FinishEntry>,
                         std::greater<>> running;
     std::uint64_t now = 0;
+    std::vector<IssueClaim> front;
 
     while (!scheduler.finished()) {
         // Issue every ready gate a free block can take.
-        while (const auto claimed = scheduler.claim()) {
-            result.start[claimed->index] = now;
-            result.block[claimed->index] = claimed->block;
-            running.push({now + claimed->latency, claimed->index,
-                          claimed->block});
+        front.clear();
+        scheduler.claimBatch(front);
+        for (const auto &claimed : front) {
+            result.start[claimed.index] = now;
+            result.block[claimed.index] = claimed.block;
+            running.push({now + claimed.latency, claimed.index,
+                          claimed.block});
         }
 
         if (running.empty()) {

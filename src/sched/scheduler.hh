@@ -160,6 +160,17 @@ class IncrementalScheduler
      */
     std::optional<IssueClaim> claim();
 
+    /**
+     * Claim every currently issuable instruction — the whole ready
+     * front, highest priority first, program order within a priority,
+     * bounded by free blocks in capped mode — appending to @p out.
+     * Exactly equivalent to looping claim() until nullopt (claims
+     * never ready new instructions; only complete() does), but issues
+     * whole fronts without per-gate heap churn. Returns the number
+     * claimed.
+     */
+    std::uint32_t claimBatch(std::vector<IssueClaim> &out);
+
     /** Retire a claim: frees its block and readies its dependents. */
     void complete(const IssueClaim &done);
 
@@ -195,21 +206,10 @@ class IncrementalScheduler
     std::uint64_t busyBlockSteps() const { return _busy_block_steps; }
 
   private:
-    struct ReadyEntry
-    {
-        std::uint64_t priority;
-        std::uint32_t index;
-
-        bool
-        operator<(const ReadyEntry &other) const
-        {
-            // std::priority_queue is a max-heap; higher priority
-            // first, ties broken toward program order for determinism.
-            if (priority != other.priority)
-                return priority < other.priority;
-            return index > other.index;
-        }
-    };
+    void pushReady(std::uint32_t index);
+    std::uint32_t popReady();
+    std::uint32_t allocBlock();
+    void freeBlock(std::uint32_t block);
 
     std::uint32_t _total = 0;
     std::uint32_t _claimed = 0;
@@ -221,15 +221,33 @@ class IncrementalScheduler
     unsigned _peak_in_flight = 0;
     std::uint64_t _busy_block_steps = 0;
 
-    const circuit::DependencyGraph &_dag;
     std::vector<std::uint32_t> _latency;
     std::vector<std::uint64_t> _priority;
-    std::vector<int> _remaining;
-    std::priority_queue<ReadyEntry> _ready;
-    // Free block ids, smallest first so assignments are deterministic
-    // and dense.
-    std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
-                        std::greater<>> _free_blocks;
+    std::vector<std::int32_t> _remaining;
+
+    // Successor adjacency in compressed-sparse-row form, built once
+    // from the DAG so claim/complete never chase per-node vectors.
+    std::vector<std::uint32_t> _succ_offset;  // size _total + 1
+    std::vector<std::uint32_t> _succ;
+
+    // Ready set: one min-heap of (rank << 32 | index) keys, where
+    // rank is any monotone priority-descending mapping (smaller =
+    // higher critical-path priority). The packed key orders by
+    // priority first and program position within a priority, in a
+    // single flat vector — no per-priority bucket allocation, one
+    // heap operation per push/pop.
+    std::vector<std::uint32_t> _rank;
+    std::vector<std::uint64_t> _ready;
+
+    // Free block ids as a bitmask (bit b of word w = block 64w + b is
+    // free): allocation takes the lowest set bit, so assignments are
+    // deterministic and dense — the same smallest-id policy as a
+    // min-heap, in O(1) for any realistic block count.
+    // _first_free_word is a monotone scan hint (no free bits below
+    // it); _free_count gates capped-mode claims.
+    std::vector<std::uint64_t> _free_words;
+    std::size_t _first_free_word = 0;
+    std::uint32_t _free_count = 0;
 };
 
 /**

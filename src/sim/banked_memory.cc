@@ -28,7 +28,7 @@ BankedMemory::BankedMemory(EventQueue &eq, std::string name,
 
 void
 BankedMemory::request(std::uint64_t address, unsigned lines,
-                      std::function<void()> on_done)
+                      CompletionFn on_done)
 {
     const Tick service = _config.cycles_per_request +
                          _config.cycles_per_line *

@@ -27,7 +27,6 @@
 #define QMH_SIM_BANKED_MEMORY_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -61,7 +60,7 @@ class BankedMemory : public Component
      * the owning bank completes the service.
      */
     void request(std::uint64_t address, unsigned lines,
-                 std::function<void()> on_done);
+                 CompletionFn on_done);
 
     unsigned banks() const
     {

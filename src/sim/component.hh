@@ -15,9 +15,10 @@
  *    overflow queue that models backpressure to the requester: a
  *    submission that finds the buffer full waits outside the
  *    component and is admitted — in strict FIFO order — only when a
- *    slot frees. Requests in flight are tracked in an ordered
- *    completion-time map (the mgsim in-flight multimap). Arbitration
- *    is deterministic: same-tick submissions are served in submission
+ *    slot frees. Requests in flight are parked in a flat store keyed
+ *    by submission seq (the mgsim in-flight map, reduced to a reused
+ *    vector) until their completion event fires. Arbitration is
+ *    deterministic: same-tick submissions are served in submission
  *    order, never in hash or pointer order.
  *
  *  - TokenPool: a counted issue-width shared by several ports of one
@@ -36,14 +37,22 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
+#include "common/small_function.hh"
 #include "event_queue.hh"
 
 namespace qmh {
 namespace sim {
+
+/**
+ * Completion callback for component requests. Small-buffer-optimized:
+ * closures up to 48 bytes (a handful of pointers plus a claim record)
+ * are stored inline; anything larger spills to the heap, so hot-path
+ * callers keep their captures within the budget.
+ */
+using CompletionFn = common::SmallFunction<48>;
 
 /** A named simulation object attached to one EventQueue. */
 class Component
@@ -147,7 +156,7 @@ class Port
      * then invokes @p on_done (which may be empty for fire-and-forget
      * traffic such as writebacks).
      */
-    void submit(Tick service, std::function<void()> on_done);
+    void submit(Tick service, CompletionFn on_done);
 
     const std::string &name() const { return _name; }
     unsigned width() const { return _width; }
@@ -162,7 +171,7 @@ class Port
     /** Requests currently holding a server. */
     unsigned inService() const { return _in_service; }
 
-    /** Entries in the completion-time map (== inService()). */
+    /** Requests awaiting their completion event (== inService()). */
     std::size_t inFlight() const { return _in_flight.size(); }
 
     const Stats &stats() const { return _stats; }
@@ -186,7 +195,14 @@ class Port
         Tick service;
         Tick submitted;
         std::uint64_t seq;
-        std::function<void()> on_done;
+        CompletionFn on_done;
+    };
+
+    /** A started request parked until its completion event fires. */
+    struct InFlight
+    {
+        std::uint64_t seq;
+        CompletionFn on_done;
     };
 
     friend class TokenPool;
@@ -194,8 +210,7 @@ class Port
     /** Start as many queued requests as servers/tokens allow. */
     void pump();
     void startFront();
-    void complete(std::uint64_t seq, Tick done,
-                  std::function<void()> on_done);
+    void complete(std::uint64_t seq);
     void noteQueueChange();
 
     Component &_owner;
@@ -206,8 +221,14 @@ class Port
 
     std::deque<Request> _buffer;    ///< bounded request deque
     std::deque<Request> _overflow;  ///< backpressured submissions
-    /** Completion tick -> request seq, in completion order. */
-    std::multimap<Tick, std::uint64_t> _in_flight;
+    /**
+     * Started requests keyed by seq. The callback stays here — not in
+     * the scheduled closure — so the completion event captures only
+     * {port, seq} and always fits an inline arena frame. The vector's
+     * capacity is reused across the run; lookup is by unique seq, so
+     * its internal order is unobservable.
+     */
+    std::vector<InFlight> _in_flight;
 
     unsigned _in_service = 0;
     bool _parked = false;           ///< enlisted in the token pool

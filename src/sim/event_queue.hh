@@ -6,17 +6,43 @@
  * order. Components schedule lambdas; there is deliberately no global
  * singleton queue — every simulation owns its own EventQueue so tests
  * and benches can run many independent simulations in one process.
+ *
+ * Internally this is a two-tier calendar queue built for raw event
+ * throughput rather than the textbook binary heap:
+ *
+ *  - Event records live in a per-queue arena (blocks of frames strung
+ *    on a free list), so steady-state scheduling performs no heap
+ *    allocation. Handlers are stored in a small-buffer-optimized
+ *    callable inline in the frame; closures beyond the inline budget
+ *    spill to the heap and are counted (spilledHandlers()) so tests
+ *    can pin the hot path to zero spills.
+ *
+ *  - Pending events within a near horizon of `bucket_count` tick-wide
+ *    buckets (width 2^shift ticks, shift grows adaptively and never
+ *    shrinks) are filed by tick bucket; only the single *active*
+ *    bucket — the one currently dispatching — is kept heap-ordered by
+ *    (tick, priority, seq). Events past the horizon wait in a small
+ *    far heap and are drained into buckets as the window slides.
+ *
+ * Dispatch order is governed solely by the strict total order
+ * (tick, priority, seq), so the calendar layout is unobservable:
+ * ordering semantics are byte-identical to the previous
+ * priority-queue kernel.
  */
 
 #ifndef QMH_SIM_EVENT_QUEUE_HH
 #define QMH_SIM_EVENT_QUEUE_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <string>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/small_function.hh"
 #include "common/units.hh"
 
 namespace qmh {
@@ -36,7 +62,11 @@ enum class Priority : int {
 class EventQueue
 {
   public:
+    /** Inline closure budget per event frame, bytes. */
+    static constexpr std::size_t event_inline_bytes = 64;
+
     using Handler = std::function<void()>;
+    using EventFn = common::SmallFunction<event_inline_bytes>;
 
     /** Current simulation time. */
     Tick now() const { return _now; }
@@ -48,19 +78,35 @@ class EventQueue
     std::uint64_t schedule(Tick when, Handler fn,
                            Priority prio = Priority::Default);
 
-    /** Schedule @p fn @p delay ticks after now(). */
+    /**
+     * Schedule any callable at absolute time @p when (>= now()).
+     * Closures up to event_inline_bytes are stored inline in the
+     * arena frame; larger ones spill to the heap (counted).
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Handler> &&
+                  std::is_invocable_v<std::decay_t<F> &>>>
     std::uint64_t
-    scheduleAfter(Tick delay, Handler fn,
+    schedule(Tick when, F &&fn, Priority prio = Priority::Default)
+    {
+        return scheduleImpl(when, EventFn(std::forward<F>(fn)), prio);
+    }
+
+    /** Schedule @p fn @p delay ticks after now(). */
+    template <typename F>
+    std::uint64_t
+    scheduleAfter(Tick delay, F &&fn,
                   Priority prio = Priority::Default)
     {
-        return schedule(_now + delay, std::move(fn), prio);
+        return schedule(_now + delay, std::forward<F>(fn), prio);
     }
 
     /** True when no events remain. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return _size == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return _events.size(); }
+    std::size_t pending() const { return _size; }
 
     /** Execute the single next event; returns false if none remain. */
     bool step();
@@ -74,30 +120,84 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return _executed; }
 
+    /** Arena blocks allocated over the queue's lifetime. */
+    std::size_t arenaBlocks() const { return _blocks.size(); }
+
+    /** Event frames the arena can hold without growing. */
+    std::size_t
+    arenaCapacity() const
+    {
+        return _blocks.size() * block_events;
+    }
+
+    /** Handlers too large for the inline budget (heap spills). */
+    std::uint64_t spilledHandlers() const { return _spilled; }
+
   private:
-    struct Entry {
-        Tick when;
-        int prio;
-        std::uint64_t seq;
-        Handler fn;
+    /// Near-horizon bucket ring size; power of two.
+    static constexpr std::uint64_t bucket_count = 256;
+    static constexpr std::uint64_t bucket_mask = bucket_count - 1;
+    /// Cap so that any 64-bit tick delta spans < bucket_count keys.
+    static constexpr std::uint32_t max_shift = 56;
+    /// Event frames per arena block.
+    static constexpr std::size_t block_events = 128;
+
+    struct Event {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        int prio = 0;
+        EventFn fn;
+        Event *next_free = nullptr;
     };
 
+    /// "a dispatches after b" under the (tick, priority, seq) order.
     struct Later {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Event *a, const Event *b) const
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->prio != b->prio)
+                return a->prio > b->prio;
+            return a->seq > b->seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _events;
+    std::uint64_t scheduleImpl(Tick when, EventFn fn, Priority prio);
+    void insert(Event *e);
+
+    /**
+     * Ensure the active heap holds the next bucket to dispatch.
+     * Inline fast path — while the active heap is non-empty nothing
+     * needs refilling; the slide/coarsen machinery lives out of line.
+     */
+    bool
+    refill()
+    {
+        return !_active.empty() || refillSlow();
+    }
+    bool refillSlow();
+    void dispatchTop();
+    void growTo(std::uint32_t new_shift);
+    Event *allocEvent();
+    void recycle(Event *e);
+
     Tick _now = 0;
     std::uint64_t _next_seq = 0;
     std::uint64_t _executed = 0;
+    std::size_t _size = 0;
+
+    std::uint32_t _shift = 0;
+    std::uint64_t _active_key = 0;
+    std::vector<Event *> _active;   ///< dispatching bucket, min-heap
+    std::array<std::vector<Event *>, bucket_count> _buckets;
+    std::size_t _near_count = 0;
+    std::vector<Event *> _far;      ///< beyond-horizon min-heap
+    std::vector<Event *> _rebucket; ///< scratch for shift growth
+
+    std::vector<std::unique_ptr<Event[]>> _blocks;
+    Event *_free = nullptr;
+    std::uint64_t _spilled = 0;
 };
 
 } // namespace sim

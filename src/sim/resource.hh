@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "event_queue.hh"
@@ -27,7 +26,12 @@ namespace sim {
 class Resource
 {
   public:
-    using Grant = std::function<void()>;
+    /**
+     * Grant callback. The event-frame callable itself, so handing a
+     * queued grant to the event queue is a move, never a re-wrap (and
+     * never an allocation for closures within the inline budget).
+     */
+    using Grant = EventQueue::EventFn;
 
     Resource(EventQueue &eq, std::string name, unsigned capacity);
 

@@ -13,8 +13,7 @@ TransferChannels::TransferChannels(EventQueue &eq, unsigned capacity,
 }
 
 void
-TransferChannels::transfer(Tick hold, Tick busy,
-                           std::function<void()> on_done)
+TransferChannels::transfer(Tick hold, Tick busy, CompletionFn on_done)
 {
     _busy += busy;
     _port.submit(hold, std::move(on_done));

@@ -21,7 +21,6 @@
 #define QMH_SIM_TRANSFER_CHANNELS_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "component.hh"
 #include "event_queue.hh"
@@ -50,7 +49,7 @@ class TransferChannels : public Component
      * latency while keeping every wire of the batch busy, so the two
      * can legitimately differ (single transfers pass hold == busy).
      */
-    void transfer(Tick hold, Tick busy, std::function<void()> on_done);
+    void transfer(Tick hold, Tick busy, CompletionFn on_done);
 
     unsigned capacity() const { return _port.width(); }
 

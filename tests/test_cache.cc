@@ -45,6 +45,45 @@ TEST(QubitCache, ResidentsReportRecencyOrderNotHashOrder)
     EXPECT_EQ(c.residents(), after);
 }
 
+TEST(QubitCache, ResidentsTrackInterleavedHitMissEvictSequences)
+{
+    // The recency order is the observable any replacement-structure
+    // swap must reproduce exactly: walk a sequence that interleaves
+    // compulsory misses, refreshing hits, evicting misses and repeat
+    // touches of the current MRU, checking the full snapshot (and the
+    // eviction victims) at every step.
+    QubitCache c(3);
+    std::vector<QubitId> evicted;
+    const struct
+    {
+        unsigned touch;
+        bool hit;
+        std::vector<QubitId> residents;
+    } steps[] = {
+        {4, false, {QubitId(4)}},
+        {2, false, {QubitId(2), QubitId(4)}},
+        {4, true, {QubitId(4), QubitId(2)}},
+        {4, true, {QubitId(4), QubitId(2)}},           // MRU self-touch
+        {8, false, {QubitId(8), QubitId(4), QubitId(2)}},
+        {6, false, {QubitId(6), QubitId(8), QubitId(4)}},  // evicts 2
+        {2, false, {QubitId(2), QubitId(6), QubitId(8)}},  // evicts 4
+        {8, true, {QubitId(8), QubitId(2), QubitId(6)}},
+        {6, true, {QubitId(6), QubitId(8), QubitId(2)}},
+        {4, false, {QubitId(4), QubitId(6), QubitId(8)}},  // evicts 2
+        {6, true, {QubitId(6), QubitId(4), QubitId(8)}},
+    };
+    for (const auto &step : steps) {
+        EXPECT_EQ(c.touch(QubitId(step.touch), &evicted), step.hit)
+            << "touch " << step.touch;
+        EXPECT_EQ(c.residents(), step.residents)
+            << "after touch " << step.touch;
+    }
+    const std::vector<QubitId> victims = {QubitId(2), QubitId(4),
+                                          QubitId(2)};
+    EXPECT_EQ(evicted, victims);
+    EXPECT_EQ(c.evictions(), 3u);
+}
+
 TEST(QubitCache, CapacityRespected)
 {
     QubitCache c(3);

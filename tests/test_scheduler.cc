@@ -292,6 +292,54 @@ TEST(IncrementalSchedule, DrivesIdenticallyToBatch)
     EXPECT_EQ(inc.busyBlockSteps(), batch.busy_block_steps);
 }
 
+TEST(IncrementalSchedule, ClaimBatchMatchesRepeatedClaimExactly)
+{
+    // claimBatch is the engine's batch-issue path; it must hand out
+    // the same (index, block, latency) sequence as looping claim()
+    // until nullopt at every decision point of a real schedule.
+    const auto prog = gen::draperAdder(
+        16, true, nullptr, gen::UncomputeMode::CarriesLeftDirty);
+    circuit::DependencyGraph dag(prog);
+    LatencyModel lat;
+    for (const unsigned blocks : {0u, 3u, 8u}) {
+        IncrementalScheduler one(prog, dag, lat, blocks);
+        IncrementalScheduler batch(prog, dag, lat, blocks);
+        std::vector<std::pair<std::uint64_t, IssueClaim>> running;
+        std::uint64_t now = 0;
+        while (!one.finished()) {
+            std::vector<IssueClaim> singles;
+            while (const auto claimed = one.claim())
+                singles.push_back(*claimed);
+            std::vector<IssueClaim> front;
+            batch.claimBatch(front);
+            ASSERT_EQ(front.size(), singles.size());
+            for (std::size_t i = 0; i < front.size(); ++i) {
+                EXPECT_EQ(front[i].index, singles[i].index);
+                EXPECT_EQ(front[i].block, singles[i].block);
+                EXPECT_EQ(front[i].latency, singles[i].latency);
+                running.push_back(
+                    {now + singles[i].latency, singles[i]});
+            }
+            ASSERT_FALSE(running.empty());
+            std::sort(running.begin(), running.end(),
+                      [](const auto &a, const auto &b) {
+                          return std::make_pair(a.first,
+                                                a.second.index) <
+                                 std::make_pair(b.first,
+                                                b.second.index);
+                      });
+            now = running.front().first;
+            while (!running.empty() && running.front().first == now) {
+                one.complete(running.front().second);
+                batch.complete(running.front().second);
+                running.erase(running.begin());
+            }
+        }
+        EXPECT_TRUE(batch.finished());
+        EXPECT_EQ(one.blocksUsed(), batch.blocksUsed());
+    }
+}
+
 TEST(IncrementalSchedule, ClaimRespectsBlockCapAndReadiness)
 {
     Program p("cap", 4);

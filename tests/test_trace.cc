@@ -461,6 +461,39 @@ TEST(TraceMemoryApi, ValidateCatchesBadMemoryKnobs)
     }
 }
 
+TEST(TraceGolden, MidSizeRunReproducesCheckedInRowExactly)
+{
+    // Golden-row determinism guard: the full CSV of a mid-size run —
+    // every counter and every formatted double — is pinned against a
+    // checked-in string, so *any* behavioral drift from a hot-path
+    // data-structure swap fails loudly on its own, not only when it
+    // happens to skew a 1-vs-N-thread comparison. The spec exercises
+    // the whole pipeline: list-scheduler batching, cache misses and
+    // evictions, bank contention (2 banks, 1 port) and transfer-
+    // channel queueing.
+    const auto parsed = api::parseSpec(
+        "experiment=trace workload=draper n=48 blocks=16 transfers=4 "
+        "capacity=40 mem_banks=2 mem_ports=1 mem_buffer=4");
+    ASSERT_TRUE(parsed.errors.empty());
+    const auto table =
+        api::runSpecSweep({parsed.spec}, {.threads = 1, .base_seed = 9});
+    const std::string golden =
+        "spec,workload,n,blocks,transfers,capacity,mem_banks,"
+        "mem_ports,makespan_s,baseline_s,speedup,accesses,hits,misses,"
+        "evictions,hit_rate,transfer_utilization,mem_requests,"
+        "writebacks,bank_conflicts,mem_stall_ticks,mem_peak_queue,"
+        "mem_mean_queue,mem_utilization,block_utilization,"
+        "peak_in_flight,mean_in_flight,events_executed,seed\n"
+        "experiment=trace n=48 transfers=4 blocks=16 mem_banks=2 "
+        "mem_ports=1 mem_buffer=4 capacity=40,draper,48,16,4,40,2,1,"
+        "862.93227,123.31232999999999,0.1428991987980702,382,33,349,"
+        "309,0.08638743455497382,0.1310531126620169,658,309,651,"
+        "32053375620000,32,37.144717765624875,0.4941716225306999,"
+        "0.0007917517385228855,12,0.012668027816366167,1354,"
+        "12587370737594032228\n";
+    EXPECT_EQ(csvOf(table), golden);
+}
+
 TEST(TraceSweep, MemoryAxesAreBitIdenticalAcrossThreadCounts)
 {
     // The mem knobs join the determinism contract: sweeping them over

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Record a benchmark baseline into the repo's perf trajectory.
+#
+# Usage: tools/bench_record.sh <build-dir> <bench> <pr>
+#
+#   build-dir  CMake build tree to run from (must be Release)
+#   bench      trajectory name: trace | memory | service
+#              (or the binary name: bench_trace, bench_memory,
+#              bench_server)
+#   pr         PR number stamped into the baseline's "pr" field
+#
+# Runs the bench with --benchmark_out (the artifact printers write to
+# stdout, so the JSON must go through a file, never a pipe), injects
+# the "pr" field, and rewrites the matching BENCH_<name>.json at the
+# repo root.
+#
+# Refuses non-Release trees: a Debug recording is not a baseline, and
+# the google-benchmark context can't tell you — its
+# "library_build_type" reflects how the *benchmark library* was
+# compiled (the distro package reports "debug"), not this repo's
+# flags. The only trustworthy source is the build tree's own
+# CMakeCache.txt.
+
+set -eu
+
+usage() {
+    echo "usage: $0 <build-dir> <trace|memory|service> <pr>" >&2
+    exit 2
+}
+
+[ $# -eq 3 ] || usage
+build=$1
+bench=$2
+pr=$3
+
+case $bench in
+  trace|bench_trace)     bin=bench_trace  out=BENCH_trace.json ;;
+  memory|bench_memory)   bin=bench_memory out=BENCH_memory.json ;;
+  service|bench_server)  bin=bench_server out=BENCH_service.json ;;
+  *) echo "$0: unknown bench '$bench'" >&2; usage ;;
+esac
+
+cache="$build/CMakeCache.txt"
+if [ ! -f "$cache" ]; then
+    echo "$0: $build is not a CMake build tree (no CMakeCache.txt)" >&2
+    exit 1
+fi
+if ! grep -q '^CMAKE_BUILD_TYPE:STRING=Release$' "$cache"; then
+    echo "$0: refusing to record a baseline from a non-Release build" >&2
+    echo "    ($cache says: $(grep '^CMAKE_BUILD_TYPE' "$cache" || echo 'CMAKE_BUILD_TYPE unset'))" >&2
+    exit 1
+fi
+if [ ! -x "$build/$bin" ]; then
+    echo "$0: $build/$bin not built" >&2
+    exit 1
+fi
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== recording $bin -> $out (pr $pr) =="
+(cd "$build" && "./$bin" --benchmark_out="$tmp" \
+                         --benchmark_out_format=json > /dev/null)
+
+python3 - "$tmp" "$repo/$out" "$pr" <<'EOF'
+import json, sys
+path, out, pr = sys.argv[1], sys.argv[2], int(sys.argv[3])
+data = json.load(open(path))
+# "pr" leads the object so the trajectory diff is the first line.
+stamped = {"pr": pr}
+stamped.update(data)
+with open(out, "w") as f:
+    json.dump(stamped, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $out"
